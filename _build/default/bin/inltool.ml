@@ -1,0 +1,204 @@
+(* inltool — command-line driver for the imperfectly-nested-loop
+   transformation framework.
+
+     inltool show FILE            parse, validate, pretty-print + layout
+     inltool deps FILE            dependence matrix (Section 3)
+     inltool apply FILE OPTS      apply a transformation pipeline
+     inltool complete FILE --row  complete a partial transformation
+     inltool run FILE -N n        interpret and dump the final store
+
+   Transformations compose left to right:
+     inltool apply chol.loop --reorder 0:1,0 --interchange I,J --verify 6
+*)
+
+module Interp = Inl_interp.Interp
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path = Inl.analyze_source (read_file path)
+
+(* ---- arguments ---- *)
+
+let file_arg = Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE")
+
+let nparam =
+  Arg.(value & opt int 6 & info [ "N"; "size" ] ~docv:"N" ~doc:"Value for the size parameter N.")
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run file =
+    let ctx = load file in
+    Format.printf "%s@." (Inl.Pp.program_to_string ctx.Inl.program);
+    Format.printf "@.instance-vector positions:@.%a@." Inl.Layout.pp_positions ctx.Inl.layout;
+    List.iter
+      (fun (si : Inl.Layout.stmt_info) ->
+        Format.printf "%s: loops=[%s] padded positions=[%s]@." si.Inl.Layout.label
+          (String.concat ";"
+             (List.map (fun (_, (l : Inl.Ast.loop)) -> l.Inl.Ast.var) si.Inl.Layout.loops))
+          (String.concat ";" (List.map string_of_int si.Inl.Layout.padded_pos)))
+      ctx.Inl.layout.Inl.Layout.stmts;
+    0
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Parse a program and print its instance-vector layout.")
+    Term.(const run $ file_arg)
+
+(* ---- deps ---- *)
+
+let deps_cmd =
+  let run file =
+    let ctx = load file in
+    Format.printf "%a@." Inl.Dep.pp_matrix ctx.Inl.deps;
+    List.iter (fun d -> Format.printf "%a@." Inl.Dep.pp d) ctx.Inl.deps;
+    0
+  in
+  Cmd.v (Cmd.info "deps" ~doc:"Print the dependence matrix (Section 3).")
+    Term.(const run $ file_arg)
+
+(* ---- apply ---- *)
+
+let parse_step kind spec : Inl.Pipeline.step =
+  let parts = String.split_on_char ',' spec in
+  let fail () = failwith (Printf.sprintf "bad --%s argument %S" kind spec) in
+  match (kind, parts) with
+  | "interchange", [ a; b ] -> Inl.Pipeline.Interchange (a, b)
+  | "reverse", [ v ] -> Inl.Pipeline.Reverse v
+  | "scale", [ v; k ] -> Inl.Pipeline.Scale (v, int_of_string k)
+  | "skew", [ t; s; f ] -> Inl.Pipeline.Skew { target = t; source = s; factor = int_of_string f }
+  | "align", [ s; l; k ] -> Inl.Pipeline.Align { stmt = s; loop = l; amount = int_of_string k }
+  | "reorder", _ -> (
+      (* path:perm, e.g. 0:1,0  — children of node [0] permuted *)
+      match String.index_opt spec ':' with
+      | None -> fail ()
+      | Some i ->
+          let path =
+            String.sub spec 0 i |> String.split_on_char '.'
+            |> List.filter (fun s -> s <> "")
+            |> List.map int_of_string
+          in
+          let perm =
+            String.sub spec (i + 1) (String.length spec - i - 1)
+            |> String.split_on_char ',' |> List.map int_of_string
+          in
+          Inl.Pipeline.Reorder { parent = path; perm })
+  | _ -> fail ()
+
+let list_opt name doc = Arg.(value & opt_all string [] & info [ name ] ~docv:"SPEC" ~doc)
+
+let apply_cmd =
+  let run file interchanges reverses scales skews aligns reorders no_simplify verify =
+    let ctx = load file in
+    let steps =
+      List.map (parse_step "interchange") interchanges
+      @ List.map (parse_step "reverse") reverses
+      @ List.map (parse_step "scale") scales
+      @ List.map (parse_step "skew") skews
+      @ List.map (parse_step "align") aligns
+      @ List.map (parse_step "reorder") reorders
+    in
+    if steps = [] then begin
+      prerr_endline "no transformation steps given";
+      2
+    end
+    else begin
+      match Inl.pipeline ctx steps with
+      | Error msg ->
+          Printf.eprintf "pipeline error: %s\n" msg;
+          1
+      | Ok total -> (
+      Format.printf "transformation matrix:@.%a@.@." Inl.Mat.pp total;
+      match Inl.transform ctx ~simplify:(not no_simplify) total with
+      | Error msg ->
+          Printf.eprintf "illegal transformation: %s\n" msg;
+          1
+      | Ok prog ->
+          Format.printf "%s@." (Inl.Pp.program_to_string prog);
+          (match verify with
+          | None -> ()
+          | Some n -> (
+              match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
+              | Ok () -> Printf.printf "\nverified equivalent at N = %d\n" n
+              | Error d -> Printf.printf "\nNOT EQUIVALENT at N = %d: %s\n" n d));
+          0)
+    end
+  in
+  let no_simplify =
+    Arg.(value & flag & info [ "no-simplify" ] ~doc:"Skip the cleanup pass of Section 5.5.")
+  in
+  let verify =
+    Arg.(value & opt (some int) None & info [ "verify" ] ~docv:"N" ~doc:"Check equivalence by interpretation at size N.")
+  in
+  Cmd.v
+    (Cmd.info "apply" ~doc:"Apply a pipeline of loop transformations (Section 4).")
+    Term.(
+      const run $ file_arg
+      $ list_opt "interchange" "Interchange two loops: $(i,A,B)."
+      $ list_opt "reverse" "Reverse a loop: $(i,V)."
+      $ list_opt "scale" "Scale a loop: $(i,V,k)."
+      $ list_opt "skew" "Skew target by source: $(i,T,S,f)."
+      $ list_opt "align" "Align a statement w.r.t. a loop: $(i,S,L,k)."
+      $ list_opt "reorder" "Reorder children of a node: $(i,PATH:p0,p1,...)."
+      $ no_simplify $ verify)
+
+(* ---- complete ---- *)
+
+let complete_cmd =
+  let run file rows verify =
+    let ctx = load file in
+    let partial =
+      List.map
+        (fun spec -> Inl.Vec.of_int_list (List.map int_of_string (String.split_on_char ',' spec)))
+        rows
+    in
+    match Inl.complete ctx ~partial with
+    | None ->
+        prerr_endline "no legal completion found";
+        1
+    | Some m ->
+        Format.printf "completed matrix:@.%a@.@." Inl.Mat.pp m;
+        let prog = Inl.transform_exn ctx m in
+        Format.printf "%s@." (Inl.Pp.program_to_string prog);
+        (match verify with
+        | None -> ()
+        | Some n -> (
+            match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
+            | Ok () -> Printf.printf "\nverified equivalent at N = %d\n" n
+            | Error d -> Printf.printf "\nNOT EQUIVALENT at N = %d: %s\n" n d));
+        0
+  in
+  let rows =
+    Arg.(value & opt_all string [] & info [ "row" ] ~docv:"a,b,..." ~doc:"A partial matrix row (repeatable; the first rows of the target matrix).")
+  in
+  let verify =
+    Arg.(value & opt (some int) None & info [ "verify" ] ~docv:"N" ~doc:"Check equivalence at size N.")
+  in
+  Cmd.v
+    (Cmd.info "complete" ~doc:"Complete a partial transformation (Section 6).")
+    Term.(const run $ file_arg $ rows $ verify)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run file n =
+    let ctx = load file in
+    let store = Interp.run ctx.Inl.program ~params:[ ("N", n) ] in
+    let cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] in
+    List.iter
+      (fun ((name, idx), v) ->
+        Printf.printf "%s(%s) = %.6g\n" name (String.concat "," (List.map string_of_int idx)) v)
+      (List.sort compare cells);
+    0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Interpret the program and dump the final array contents.")
+    Term.(const run $ file_arg $ nparam)
+
+let () =
+  let doc = "transformations for imperfectly nested loops (Kodukula-Pingali, SC'96)" in
+  let info = Cmd.info "inltool" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ show_cmd; deps_cmd; apply_cmd; complete_cmd; run_cmd ]))

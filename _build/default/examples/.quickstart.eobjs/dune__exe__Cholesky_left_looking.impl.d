@@ -1,0 +1,1 @@
+examples/cholesky_left_looking.ml: Format Inl Inl_interp Inl_kernels List Printf

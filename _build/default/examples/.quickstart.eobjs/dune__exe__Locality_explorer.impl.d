@@ -1,0 +1,1 @@
+examples/locality_explorer.ml: Inl Inl_cachesim Inl_interp Inl_kernels List Printf Sys

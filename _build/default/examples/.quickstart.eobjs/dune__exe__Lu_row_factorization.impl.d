@@ -1,0 +1,1 @@
+examples/lu_row_factorization.ml: Format Inl Inl_interp Inl_kernels Inl_linalg List Printf

@@ -1,0 +1,1 @@
+examples/lu_row_factorization.mli:

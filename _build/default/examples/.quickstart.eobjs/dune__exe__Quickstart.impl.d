@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Inl Inl_interp Inl_kernels List Printf

@@ -1,0 +1,1 @@
+examples/skew_and_augment.ml: Format Inl Inl_interp Inl_kernels Inl_linalg List Printf

@@ -1,0 +1,1 @@
+examples/skew_and_augment.mli:

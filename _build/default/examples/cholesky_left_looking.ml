@@ -1,0 +1,47 @@
+(* Deriving left-looking Cholesky from the right-looking form with the
+   completion procedure (Section 6, Figure 8).
+
+   The paper fixes the first row of the transformation and completes the
+   rest automatically.  We do the same (with the corrected first row —
+   see EXPERIMENTS.md E12 on the paper's J/L mix-up), print the derived
+   left-looking code, and verify it numerically.
+
+   Run with:  dune exec examples/cholesky_left_looking.exe *)
+
+module Px = Inl_kernels.Paper_examples
+module Interp = Inl_interp.Interp
+
+let () =
+  let ctx = Inl.analyze_source Px.cholesky in
+  print_endline "=== right-looking Cholesky (the paper's source form) ===";
+  print_string Px.cholesky;
+
+  print_endline "\n=== dependence matrix ===";
+  Format.printf "%a@." Inl.Dep.pp_matrix ctx.Inl.deps;
+
+  (* Ask for a new outermost loop enumerating the old L values. *)
+  let partial = [ Inl.Vec.of_int_list [ 0; 0; 0; 0; 0; 1; 0 ] ] in
+  (match Inl.complete ctx ~partial with
+  | None -> print_endline "completion failed!"
+  | Some m ->
+      print_endline "=== completed transformation matrix ===";
+      Format.printf "%a@." Inl.Mat.pp m;
+      let prog = Inl.transform_exn ctx m in
+      print_endline "\n=== derived left-looking Cholesky ===";
+      print_endline (Inl.Pp.program_to_string prog);
+      List.iter
+        (fun n ->
+          match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
+          | Ok () -> Printf.printf "N = %2d: equivalent\n" n
+          | Error d -> Printf.printf "N = %2d: DIFFERS (%s)\n" n d)
+        [ 1; 3; 8 ]);
+
+  (* The paper's printed first row (old J position) cannot be completed:
+     its outer coordinate already reverses the update->divide dependence. *)
+  let printed = [ Inl.Vec.of_int_list [ 0; 0; 0; 0; 1; 0; 0 ] ] in
+  match Inl.complete ctx ~partial:printed with
+  | None ->
+      print_endline
+        "\nthe paper's printed partial row [0 0 0 0 1 0 0] has no legal completion\n\
+         (its own final code corresponds to the corrected row; see EXPERIMENTS.md E12)"
+  | Some _ -> print_endline "\nunexpected: printed partial row completed"

@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Format Inl Inl_depend Inl_instance Inl_ir Inl_linalg Inl_num Inl_presburger List

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Inl_depend Inl_instance Inl_ir Inl_linalg

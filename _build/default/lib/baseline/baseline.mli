@@ -1,0 +1,39 @@
+(** The approaches the paper argues against (Sections 1 and 4.1), as
+    comparators for the evaluation:
+
+    - {!perfect_only}: the classical unimodular framework, which cannot
+      even represent an imperfect nest;
+    - {!Distribution}: making nests perfect by loop distribution — legal
+      only without backward inter-group dependences, hence illegal on the
+      matrix factorization codes;
+    - {!Sinking}: making nests perfect by sinking statements behind
+      first-iteration guards — {e unsound} when the inner loop's range
+      can be empty, a defect kept faithfully (the test suite exhibits the
+      lost `sqrt` at [I = N] on simplified Cholesky). *)
+
+module Mat = Inl_linalg.Mat
+module Ast = Inl_ir.Ast
+module Dep = Inl_depend.Dep
+module Layout = Inl_instance.Layout
+
+type perfect_verdict = Not_perfect | Perfect_illegal of string | Perfect_legal
+
+val perfect_only : Ast.program -> Mat.t -> perfect_verdict
+(** Classical legality for perfectly nested loops; [Not_perfect] when the
+    program is imperfectly nested (the baseline's defining limitation). *)
+
+module Distribution : sig
+  val legal : Layout.t -> Dep.t list -> at:int -> (unit, string) result
+  (** Legality of splitting the single top-level loop at child [at]; the
+      error names the backward dependence. *)
+
+  val apply : Layout.t -> at:int -> Ast.program
+end
+
+module Sinking : sig
+  val sink_into_following_loop : Ast.program -> (Ast.program, string) result
+  (** The textbook sinking construction for the shape
+      [do I { S; do J ... }]: S moves into the inner loop behind a
+      first-iteration guard.  Unsound when the inner range can be empty —
+      implemented faithfully, defect included. *)
+end

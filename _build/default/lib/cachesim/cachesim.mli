@@ -1,0 +1,52 @@
+(** A set-associative, write-allocate, LRU cache simulator.
+
+    Stands in for 1996-era memory hierarchies in reproducing the paper's
+    motivating claim (Section 1) that the loop orders of Cholesky
+    factorization, while computing the same result, differ substantially
+    in performance.  Replaying the interpreter's memory trace through
+    this model gives architecture-generic miss counts. *)
+
+type config = {
+  line_bytes : int;  (** bytes per cache line (power of two) *)
+  sets : int;  (** number of sets (power of two) *)
+  assoc : int;  (** ways per set *)
+}
+
+val direct_mapped : capacity_bytes:int -> line_bytes:int -> config
+val set_associative : capacity_bytes:int -> line_bytes:int -> assoc:int -> config
+
+type t
+
+val create : config -> t
+val capacity_bytes : config -> int
+
+val access : t -> int -> bool
+(** [access cache byte_address] touches one address and reports a hit. *)
+
+type stats = { accesses : int; hits : int; misses : int }
+
+val stats : t -> stats
+val miss_rate : stats -> float
+val reset : t -> unit
+
+(** Mapping array cells to flat byte addresses: arrays get disjoint
+    base addresses in declaration order, row-major layout, 8-byte
+    elements.  Subscript ranges are given per array ([dims] lists the
+    inclusive upper bound of each dimension; subscripts are assumed
+    non-negative). *)
+module Address_map : sig
+  type map
+
+  val create : (string * int list) list -> map
+  val address : map -> string -> int list -> int
+  (** @raise Invalid_argument for unknown arrays or out-of-range cells. *)
+end
+
+val simulate_program :
+  config ->
+  (string * int list) list ->
+  Inl_ir.Ast.program ->
+  params:(string * int) list ->
+  stats
+(** Runs the program in the interpreter and replays every array access
+    through a fresh cache. *)

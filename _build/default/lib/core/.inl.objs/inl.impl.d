@@ -1,0 +1,1 @@
+lib/core/inl.ml: Blockstruct Boundsgen Codegen Complete Completion Completion_ext Inl_depend Inl_instance Inl_ir Inl_linalg Legality Perstmt Pipeline Simplify Tmat

@@ -1,0 +1,1 @@
+lib/core/blockstruct.ml: Array Format Fun Inl_instance Inl_ir Inl_linalg Inl_num List String

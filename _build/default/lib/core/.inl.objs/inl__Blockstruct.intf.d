@@ -1,0 +1,1 @@
+lib/core/blockstruct.mli: Inl_instance Inl_ir Inl_linalg

@@ -1,0 +1,1 @@
+lib/core/boundsgen.ml: Inl_ir Inl_num Inl_presburger List

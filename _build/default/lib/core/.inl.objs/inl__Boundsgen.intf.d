@@ -1,0 +1,1 @@
+lib/core/boundsgen.mli: Inl_ir Inl_presburger

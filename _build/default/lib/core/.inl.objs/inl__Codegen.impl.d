@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Blockstruct Boundsgen Complete Format Fun Inl_depend Inl_instance Inl_ir Inl_linalg Inl_num Inl_presburger List Perstmt Printf String

@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Blockstruct Inl_depend Inl_ir

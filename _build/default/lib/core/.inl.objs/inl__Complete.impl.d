@@ -1,0 +1,1 @@
+lib/core/complete.ml: Array Inl_linalg Inl_num Inl_presburger List

@@ -1,0 +1,1 @@
+lib/core/complete.mli: Inl_linalg Inl_presburger

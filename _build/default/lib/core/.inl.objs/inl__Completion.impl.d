@@ -1,0 +1,1 @@
+lib/core/completion.ml: Array Blockstruct Fun Hashtbl Inl_depend Inl_instance Inl_ir Inl_linalg Inl_num Inl_presburger Legality List Tmat

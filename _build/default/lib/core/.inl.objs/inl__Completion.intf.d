@@ -1,0 +1,1 @@
+lib/core/completion.mli: Inl_depend Inl_instance Inl_linalg

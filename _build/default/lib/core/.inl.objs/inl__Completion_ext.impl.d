@@ -1,0 +1,1 @@
+lib/core/completion_ext.ml: Completion Inl_depend Inl_instance Inl_ir Inl_linalg Inl_num Inl_presburger List Printf String Tmat

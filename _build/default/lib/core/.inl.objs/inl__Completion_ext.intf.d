@@ -1,0 +1,1 @@
+lib/core/completion_ext.mli: Completion Inl_depend Inl_instance Inl_ir Inl_linalg

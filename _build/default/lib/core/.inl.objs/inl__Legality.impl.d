@@ -1,0 +1,1 @@
+lib/core/legality.ml: Array Blockstruct Format Inl_depend Inl_instance Inl_ir Inl_linalg Inl_num Inl_presburger List String

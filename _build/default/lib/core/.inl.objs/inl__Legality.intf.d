@@ -1,0 +1,1 @@
+lib/core/legality.mli: Blockstruct Inl_depend Inl_instance Inl_linalg Inl_presburger

@@ -1,0 +1,1 @@
+lib/core/perstmt.ml: Array Blockstruct Inl_instance Inl_linalg Inl_num List

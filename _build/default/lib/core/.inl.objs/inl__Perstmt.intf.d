@@ -1,0 +1,1 @@
+lib/core/perstmt.mli: Blockstruct Inl_linalg

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Blockstruct Format Inl_instance Inl_ir Inl_linalg List String Tmat

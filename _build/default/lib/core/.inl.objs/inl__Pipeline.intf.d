@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Format Inl_instance Inl_ir Inl_linalg

@@ -1,0 +1,1 @@
+lib/core/tmat.ml: Array Inl_instance Inl_ir Inl_linalg Inl_num List Option Printf String

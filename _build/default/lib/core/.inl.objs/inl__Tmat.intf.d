@@ -1,0 +1,1 @@
+lib/core/tmat.mli: Inl_instance Inl_ir Inl_linalg Inl_num

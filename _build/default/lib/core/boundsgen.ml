@@ -1,0 +1,135 @@
+(* Loop-bound generation by Fourier-Motzkin projection (Lemma 3, after
+   Ancourt-Irigoin [1] and Li-Pingali [10]).
+
+   Given the constraint system tying a statement's new loop variables to
+   its original iterators, the bounds of each new loop are read off after
+   eliminating the original iterators (through the defining equalities)
+   and all deeper loop variables (by rational pairing).  The rational
+   relaxation may add spurious boundary iterations; the per-statement
+   guards emitted by code generation discard them, so the bounds only
+   need to be a superset. *)
+
+module Mpz = Inl_num.Mpz
+module Linexpr = Inl_presburger.Linexpr
+module Constr = Inl_presburger.Constr
+module Ast = Inl_ir.Ast
+
+exception Infeasible
+
+let normalize_list (cs : Constr.t list) : Constr.t list =
+  let rec go acc = function
+    | [] -> List.sort_uniq Constr.compare acc
+    | c :: rest -> (
+        match Constr.normalize c with
+        | `True -> go acc rest
+        | `False -> raise Infeasible
+        | `Constr c -> go (c :: acc) rest)
+  in
+  go [] cs
+
+(* Substitute using equality [e = 0] (with coefficient [a] on [v]) into
+   [f], eliminating [v] without leaving the integers:
+   f' = |a| * f - sign(a) * coeff_f(v) * e. *)
+let subst_with_equality e a v f =
+  let b = Linexpr.coeff f v in
+  if Mpz.is_zero b then f
+  else begin
+    let s = Linexpr.scale (Mpz.abs a) f in
+    let t = Linexpr.scale (Mpz.mul (Mpz.of_int (Mpz.sign a)) b) e in
+    Linexpr.sub s t
+  end
+
+let eliminate_rational (cs : Constr.t list) (v : string) : Constr.t list =
+  let eqs, ges, rest =
+    List.fold_right
+      (fun c (eqs, ges, rest) ->
+        if not (Constr.mem c v) then (eqs, ges, c :: rest)
+        else if Constr.is_eq c then (c :: eqs, ges, rest)
+        else (eqs, c :: ges, rest))
+      cs ([], [], [])
+  in
+  match eqs with
+  | e0 :: other_eqs ->
+      let e = Constr.expr e0 in
+      let a = Linexpr.coeff e v in
+      let sub c =
+        match c with
+        | Constr.Ge f -> Constr.Ge (subst_with_equality e a v f)
+        | Constr.Eq f -> Constr.Eq (subst_with_equality e a v f)
+      in
+      normalize_list (List.map sub (other_eqs @ ges) @ rest)
+  | [] ->
+      let lowers = ref [] and uppers = ref [] in
+      List.iter
+        (fun c ->
+          let e = Constr.expr c in
+          let a = Linexpr.coeff e v in
+          let r = Linexpr.sub e (Linexpr.term a v) in
+          if Mpz.is_positive a then lowers := (a, r) :: !lowers
+          else uppers := (Mpz.neg a, r) :: !uppers)
+        ges;
+      let shadow =
+        List.concat_map
+          (fun (a, r) ->
+            List.map
+              (fun (b, s) -> Constr.ge (Linexpr.add (Linexpr.scale a s) (Linexpr.scale b r)))
+              !uppers)
+          !lowers
+      in
+      normalize_list (shadow @ rest)
+
+(* Bounds of [v] read from the constraints that mention it. *)
+let bounds_of (cs : Constr.t list) (v : string) : Ast.bterm list * Ast.bterm list =
+  let lowers = ref [] and uppers = ref [] in
+  let push_lower num den = lowers := ({ Ast.num; den } : Ast.bterm) :: !lowers in
+  let push_upper num den = uppers := ({ Ast.num; den } : Ast.bterm) :: !uppers in
+  List.iter
+    (fun c ->
+      if Constr.mem c v then begin
+        let e = Constr.expr c in
+        let a = Linexpr.coeff e v in
+        let r = Linexpr.sub e (Linexpr.term a v) in
+        match c with
+        | Constr.Ge _ ->
+            if Mpz.is_positive a then push_lower (Linexpr.neg r) a
+            else push_upper r (Mpz.neg a)
+        | Constr.Eq _ ->
+            if Mpz.is_positive a then begin
+              push_lower (Linexpr.neg r) a;
+              push_upper (Linexpr.neg r) a
+            end
+            else begin
+              push_lower r (Mpz.neg a);
+              push_upper r (Mpz.neg a)
+            end
+      end)
+    cs;
+  let dedupe l =
+    List.sort_uniq
+      (fun (t1 : Ast.bterm) (t2 : Ast.bterm) ->
+        let c = Mpz.compare t1.den t2.den in
+        if c <> 0 then c else Linexpr.compare t1.num t2.num)
+      l
+  in
+  (dedupe !lowers, dedupe !uppers)
+
+type loop_bounds = { var : string; lower : Ast.bterm list; upper : Ast.bterm list }
+
+(* [scan_bounds cs ~eliminate ~scan] returns, for each scan variable
+   (listed outermost first), its lower and upper bound terms in terms of
+   outer scan variables and parameters (any variable in neither list);
+   the [eliminate] variables are projected out first.
+   @raise Infeasible when the system has no rational points. *)
+let scan_bounds (cs : Constr.t list) ~(eliminate : string list) ~(scan : string list) :
+    loop_bounds list =
+  let cs = normalize_list cs in
+  let cs = List.fold_left eliminate_rational cs eliminate in
+  (* peel scan variables innermost first *)
+  let rec go cs = function
+    | [] -> []
+    | v :: outer_rev ->
+        let lower, upper = bounds_of cs v in
+        let cs' = eliminate_rational cs v in
+        { var = v; lower; upper } :: go cs' outer_rev
+  in
+  List.rev (go cs (List.rev scan))

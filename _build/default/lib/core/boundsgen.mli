@@ -1,0 +1,30 @@
+(** Loop-bound generation by Fourier-Motzkin projection (Lemma 3, after
+    Ancourt-Irigoin and Li-Pingali).
+
+    Given the constraint system tying a statement's new loop variables to
+    its original iterators, the bounds of each new loop are read off
+    after eliminating the original iterators (through the defining
+    equalities) and all deeper loop variables (by rational pairing).  The
+    rational relaxation may admit spurious boundary iterations; the
+    per-statement guards emitted by {!Codegen} discard them, so the
+    bounds only need to be a superset of the true iteration set. *)
+
+module Constr = Inl_presburger.Constr
+module Ast = Inl_ir.Ast
+
+exception Infeasible
+(** The system has no rational points: the statement never executes. *)
+
+type loop_bounds = { var : string; lower : Ast.bterm list; upper : Ast.bterm list }
+
+val scan_bounds :
+  Constr.t list -> eliminate:string list -> scan:string list -> loop_bounds list
+(** [scan_bounds cs ~eliminate ~scan] returns, for each scan variable
+    (listed outermost first), its lower and upper bound terms in terms of
+    outer scan variables and parameters (any variable in neither list);
+    the [eliminate] variables are projected out first.
+    @raise Infeasible when the system is empty. *)
+
+val eliminate_rational : Constr.t list -> string -> Constr.t list
+(** One variable-elimination step (equality substitution or real-shadow
+    pairing), exposed for testing. *)

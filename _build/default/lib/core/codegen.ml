@@ -1,0 +1,308 @@
+(* Code generation (Section 5): from a legal transformation matrix to a
+   runnable transformed program.
+
+   Per statement S (nested in k loops, per-statement transformation T_S
+   with alignment offset o_S, augmented by Complete with q extra rows):
+
+   - the target nest for S is the k reordered loops of the new AST
+     followed by q private augmentation loops;
+   - loop bounds come from Fourier-Motzkin projection of the system
+     { y = T'_S i + o_S,  original bounds on i } (Lemma 3);
+   - the original iterators are reconstructed from the non-singular rows
+     (Definition 8) as exact rational solves, emitted as [Let] bindings
+     with divisibility guards when T'_S is not unimodular;
+   - guards re-impose the original bounds and the singular-row conditions
+     (Section 5.5), discarding the spurious iterations that the rational
+     bound relaxation or a shared loop's covering bounds admit.
+
+   A loop shared by several statements gets covering (union) bounds: the
+   min of the statements' lower bounds and the max of their uppers. *)
+
+module Mpz = Inl_num.Mpz
+module Q = Inl_num.Q
+module Vec = Inl_linalg.Vec
+module Mat = Inl_linalg.Mat
+module Gauss = Inl_linalg.Gauss
+module Linexpr = Inl_presburger.Linexpr
+module Constr = Inl_presburger.Constr
+module Ast = Inl_ir.Ast
+module Layout = Inl_instance.Layout
+module Dep = Inl_depend.Dep
+module Analysis = Inl_depend.Analysis
+
+exception Codegen_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+type stmt_plan = {
+  si_old : Layout.stmt_info;
+  scan_vars : string list; (* new loop variables, outer to inner: k shared then q private *)
+  shared_count : int;
+  bounds : Boundsgen.loop_bounds list; (* aligned with scan_vars; [] when infeasible *)
+  feasible : bool;
+  lets : (string * Ast.bterm) list; (* original iterator reconstructions, outer first *)
+  div_guards : Ast.guard list;
+  post_guards : Ast.guard list; (* original bounds + singular rows, over let-bound names *)
+}
+
+let ivar_prefix = "i!"
+
+(* A fresh-name supply avoiding the program's parameters, arrays and
+   labels. *)
+let name_supply (prog : Ast.program) prefix =
+  let taken =
+    prog.Ast.params @ Ast.arrays prog @ Ast.loop_vars prog
+    @ List.map (fun (_, (s : Ast.stmt)) -> s.Ast.label) (Ast.stmts_with_paths prog)
+  in
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let rec pick base = if List.mem base taken then pick (base ^ "_") else base in
+    pick (Printf.sprintf "%s%d" prefix !counter)
+
+let plan_statement (st : Blockstruct.t) (unsat : Dep.t list)
+    (new_loop_name : int -> string) (fresh_aug : unit -> string) (label : string) : stmt_plan =
+  let old_layout = st.Blockstruct.old_layout in
+  let si_old = Layout.stmt_info old_layout label in
+  let k = List.length si_old.Layout.loops in
+  let pst = Perstmt.of_structure st label in
+  (* unsatisfied self-dependences, projected onto S's own loop coords *)
+  let self_unsat =
+    List.filter (fun (d : Dep.t) -> d.src = label && d.dst = label) unsat
+    |> List.map (fun (d : Dep.t) ->
+           Array.of_list (List.map (fun p -> d.vector.(p)) si_old.Layout.loop_pos))
+  in
+  let added = Complete.augment pst.Perstmt.matrix self_unsat in
+  let q = List.length added in
+  let tprime = Array.append pst.Perstmt.matrix (Array.of_list added) in
+  let offsets = Array.append pst.Perstmt.offset (Vec.zero q) in
+  let shared_names = List.map new_loop_name pst.Perstmt.new_loop_rows in
+  let aug_names = List.init q (fun _ -> fresh_aug ()) in
+  let scan_vars = shared_names @ aug_names in
+  (* constraint system over { i!v } + scan vars + params: only the
+     statement's own loop variables are renamed, parameters pass through *)
+  let own_vars = List.map (fun (_, (l : Ast.loop)) -> l.Ast.var) si_old.Layout.loops in
+  let rn v = if List.mem v own_vars then ivar_prefix ^ v else v in
+  let i_vars = List.map (fun v -> ivar_prefix ^ v) own_vars in
+  let defining =
+    List.mapi
+      (fun j y ->
+        let rhs =
+          List.fold_left2
+            (fun acc iv c -> Linexpr.add acc (Linexpr.term c iv))
+            (Linexpr.const offsets.(j))
+            i_vars (Array.to_list tprime.(j))
+        in
+        Constr.eq2 (Linexpr.var y) rhs)
+      scan_vars
+  in
+  let old_bounds = Analysis.bounds_constraints si_old rn in
+  let bounds, feasible =
+    try (Boundsgen.scan_bounds (defining @ old_bounds) ~eliminate:i_vars ~scan:scan_vars, true)
+    with Boundsgen.Infeasible -> ([], false)
+  in
+  (* reconstruct original iterators from the non-singular rows *)
+  let indep = Gauss.independent_row_indices tprime in
+  if List.length indep <> k then err "statement %s: augmented transformation is rank-deficient" label;
+  let n_mat = Array.of_list (List.map (fun r -> tprime.(r)) indep) in
+  let inv =
+    match Gauss.inverse n_mat with
+    | Some m -> m
+    | None -> err "statement %s: non-singular per-statement transformation is singular" label
+  in
+  let scan_var_of_row r = List.nth scan_vars r in
+  let lets =
+    List.mapi
+      (fun j (_, (l : Ast.loop)) ->
+        (* i_j = sum_l inv[j][l] * (y_{indep_l} - off_{indep_l}) *)
+        let d =
+          Array.fold_left (fun acc qv -> Mpz.lcm acc (Q.den qv)) Mpz.one inv.(j)
+        in
+        let num =
+          List.fold_left
+            (fun acc (l_idx, row) ->
+              let c = Q.mul (Q.of_mpz d) inv.(j).(l_idx) in
+              let c = Q.to_mpz_exn c in
+              let y = Linexpr.var (scan_var_of_row row) in
+              Linexpr.add acc (Linexpr.scale c (Linexpr.add_const y (Mpz.neg offsets.(row)))))
+            Linexpr.zero
+            (List.mapi (fun l_idx row -> (l_idx, row)) indep)
+        in
+        (l.Ast.var, ({ Ast.num; den = d } : Ast.bterm)))
+      si_old.Layout.loops
+  in
+  let div_guards =
+    List.filter_map
+      (fun (_, ({ num; den } : Ast.bterm)) ->
+        if Mpz.is_one den then None else Some (Ast.Gdiv (den, num)))
+      lets
+  in
+  (* original bounds, now over the let-bound original names *)
+  let unprefix e =
+    Linexpr.rename
+      (fun v ->
+        if String.length v > 2 && String.sub v 0 2 = ivar_prefix then
+          String.sub v 2 (String.length v - 2)
+        else v)
+      e
+  in
+  let bound_guards =
+    List.map
+      (fun c ->
+        match c with
+        | Constr.Ge e -> Ast.Gcmp (`Ge, unprefix e)
+        | Constr.Eq e -> Ast.Gcmp (`Eq, unprefix e))
+      old_bounds
+  in
+  (* singular rows: y_r = T'_r . i + o_r over the let-bound names *)
+  let singular_guards =
+    List.concat
+      (List.mapi
+         (fun r row ->
+           if List.mem r indep then []
+           else begin
+             let rhs =
+               List.fold_left2
+                 (fun acc (_, (l : Ast.loop)) c -> Linexpr.add acc (Linexpr.term c l.Ast.var))
+                 (Linexpr.const offsets.(r))
+                 si_old.Layout.loops (Array.to_list row)
+             in
+             [ Ast.Gcmp (`Eq, Linexpr.sub (Linexpr.var (scan_var_of_row r)) rhs) ]
+           end)
+         (Array.to_list tprime))
+  in
+  {
+    si_old;
+    scan_vars;
+    shared_count = k;
+    bounds;
+    feasible;
+    lets;
+    div_guards;
+    post_guards = bound_guards @ singular_guards;
+  }
+
+(* The node replacing statement S: private augmentation loops, then the
+   divisibility guards, the iterator reconstructions, the bound and
+   singular guards, and finally the original statement body. *)
+let statement_node (plan : stmt_plan) : Ast.node =
+  let stmt = Ast.Stmt plan.si_old.Layout.stmt in
+  let guarded =
+    if plan.post_guards = [] then stmt else Ast.If (plan.post_guards, [ stmt ])
+  in
+  let with_lets =
+    List.fold_right (fun (v, bt) body -> Ast.Let (v, bt, [ body ])) plan.lets guarded
+  in
+  let with_div =
+    if plan.div_guards = [] then with_lets else Ast.If (plan.div_guards, [ with_lets ])
+  in
+  (* augmentation loops, outer to inner *)
+  let aug = List.filteri (fun i _ -> i >= plan.shared_count) plan.bounds in
+  List.fold_right
+    (fun (b : Boundsgen.loop_bounds) body ->
+      if b.lower = [] || b.upper = [] then
+        err "augmentation loop %s of %s has no finite bounds" b.var plan.si_old.Layout.label;
+      Ast.Loop
+        {
+          var = b.var;
+          lower = { Ast.combine = `Max; terms = b.lower };
+          upper = { Ast.combine = `Min; terms = b.upper };
+          step = Mpz.one;
+          body = [ body ];
+        })
+    aug with_div
+
+(* Union bounds for a shared loop: exact when a single statement (or all
+   statements agree); otherwise covering min/max with per-statement guards
+   ensuring correctness. *)
+let union_bounds (per_stmt : (Ast.bterm list * Ast.bterm list) list) : Ast.bound * Ast.bound =
+  match per_stmt with
+  | [] -> err "union_bounds: no statements"
+  | [ (lo, up) ] ->
+      ({ Ast.combine = `Max; terms = lo }, { Ast.combine = `Min; terms = up })
+  | (lo0, up0) :: rest ->
+      if List.for_all (fun (lo, up) -> lo = lo0 && up = up0) rest then
+        ({ Ast.combine = `Max; terms = lo0 }, { Ast.combine = `Min; terms = up0 })
+      else begin
+        let deduped sel =
+          List.concat_map sel per_stmt
+          |> List.sort_uniq (fun (t1 : Ast.bterm) (t2 : Ast.bterm) ->
+                 let c = Mpz.compare t1.den t2.den in
+                 if c <> 0 then c else Linexpr.compare t1.num t2.num)
+        in
+        (* a single surviving term makes the covering bound exact *)
+        let lo = deduped fst and up = deduped snd in
+        ( { Ast.combine = (if List.length lo = 1 then `Max else `Min); terms = lo },
+          { Ast.combine = (if List.length up = 1 then `Min else `Max); terms = up } )
+      end
+
+let generate (st : Blockstruct.t) ~(unsatisfied : Dep.t list) : Ast.program =
+  let old_prog = st.Blockstruct.old_layout.Layout.program in
+  let new_layout = st.Blockstruct.new_layout in
+  (* names for the transformed loops, one per new loop position *)
+  let fresh_shared = name_supply old_prog "t" in
+  let fresh_aug = name_supply old_prog "u" in
+  let loop_names =
+    Layout.loop_positions new_layout |> List.map (fun p -> (p, fresh_shared ()))
+  in
+  let new_loop_name p =
+    match List.assoc_opt p loop_names with
+    | Some n -> n
+    | None -> err "no name for loop position %d" p
+  in
+  let labels =
+    List.map (fun (si : Layout.stmt_info) -> si.Layout.label) st.Blockstruct.old_layout.Layout.stmts
+  in
+  let plans =
+    List.map (fun l -> (l, plan_statement st unsatisfied new_loop_name fresh_aug l)) labels
+  in
+  (* bounds of a shared loop at new path p: union over feasible statements
+     nested below it *)
+  let bounds_for_loop (p : Ast.path) (var : string) : Ast.bound * Ast.bound =
+    let contributions =
+      List.filter_map
+        (fun (label, plan) ->
+          if not plan.feasible then None
+          else begin
+            let si_new = Layout.stmt_info new_layout label in
+            let under =
+              List.exists (fun (lp, _) -> lp = p) si_new.Layout.loops
+            in
+            if not under then None
+            else
+              match List.find_opt (fun (b : Boundsgen.loop_bounds) -> b.var = var) plan.bounds with
+              | Some b when b.lower <> [] && b.upper <> [] -> Some (b.lower, b.upper)
+              | _ -> None
+          end)
+        plans
+    in
+    if contributions = [] then
+      (* no statement executes: empty range *)
+      ( { Ast.combine = `Max; terms = [ Ast.bterm_int 1 ] },
+        { Ast.combine = `Min; terms = [ Ast.bterm_int 0 ] } )
+    else union_bounds contributions
+  in
+  (* rebuild the skeleton *)
+  let rec rebuild prefix nodes =
+    List.mapi
+      (fun i node ->
+        let p = prefix @ [ i ] in
+        match node with
+        | Ast.Stmt s -> (
+            match List.assoc_opt s.Ast.label plans with
+            | Some plan when plan.feasible -> Some (statement_node plan)
+            | Some _ -> None (* statement never executes *)
+            | None -> err "no plan for %s" s.Ast.label)
+        | Ast.Loop l ->
+            let var = new_loop_name (Layout.position_of_loop new_layout p) in
+            let lower, upper = bounds_for_loop p var in
+            let body = rebuild p l.Ast.body in
+            Some (Ast.Loop { var; lower; upper; step = Mpz.one; body })
+        | Ast.If _ | Ast.Let _ -> err "unexpected If/Let in skeleton")
+      nodes
+    |> List.filter_map Fun.id
+  in
+  let nest = rebuild [] st.Blockstruct.new_program.Ast.nest in
+  let prog = { Ast.params = old_prog.Ast.params; nest } in
+  Ast.validate prog;
+  prog

@@ -1,0 +1,35 @@
+(** Code generation (Section 5): from a legal transformation matrix to a
+    runnable transformed program.
+
+    Per statement S (nested in [k] loops, per-statement transformation
+    [T_S] with alignment offset, augmented by {!Complete} with [q] extra
+    rows):
+
+    - the target nest for S is the [k] reordered loops of the new AST
+      followed by [q] private augmentation loops;
+    - loop bounds come from Fourier-Motzkin projection of the system
+      [{ y = T'_S i + o_S } /\ original bounds] (Lemma 3, {!Boundsgen});
+    - the original iterators are reconstructed from the non-singular rows
+      (Definition 8) as exact rational solves, emitted as [Let] bindings
+      with divisibility guards when [T'_S] is not unimodular;
+    - guards re-impose the original bounds and the singular-row
+      conditions (Section 5.5), discarding the spurious iterations that
+      the rational bound relaxation or a shared loop's covering bounds
+      admit.
+
+    A loop shared by several statements gets covering (union) bounds:
+    the min of the statements' lower bounds and the max of their uppers,
+    with per-statement guards restoring exactness. *)
+
+module Ast = Inl_ir.Ast
+module Dep = Inl_depend.Dep
+
+exception Codegen_error of string
+
+val generate : Blockstruct.t -> unsatisfied:Dep.t list -> Ast.program
+(** [generate structure ~unsatisfied] produces the transformed program
+    for a matrix found {e legal} by {!Legality.check}; [unsatisfied] is
+    the verdict's unsatisfied-dependence list (self-dependences the extra
+    loops must carry).  The result validates ({!Ast.validate}).
+    @raise Codegen_error on internal failures (e.g. an augmentation loop
+    without finite bounds). *)

@@ -1,0 +1,302 @@
+module Mpz = Inl_num.Mpz
+module Vec = Inl_linalg.Vec
+module Mat = Inl_linalg.Mat
+module Gauss = Inl_linalg.Gauss
+module Interval = Inl_presburger.Interval
+module Ast = Inl_ir.Ast
+module Dep = Inl_depend.Dep
+module Layout = Inl_instance.Layout
+
+type options = { allow_reorder : bool; allow_reversal : bool; max_nodes : int }
+
+let default_options = { allow_reorder = true; allow_reversal = true; max_nodes = 200_000 }
+
+(* ---- structure enumeration ---- *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+(* Multi-child nodes of the program, with their child counts. *)
+let reorder_sites (prog : Ast.program) : (Ast.path * int) list =
+  let sites = ref [] in
+  let rec go prefix nodes =
+    let m = List.length nodes in
+    if m >= 2 then sites := (prefix, m) :: !sites;
+    List.iteri
+      (fun i n ->
+        match n with
+        | Ast.Loop l -> go (prefix @ [ i ]) l.Ast.body
+        | Ast.If (_, b) | Ast.Let (_, _, b) -> go (prefix @ [ i ]) b
+        | Ast.Stmt _ -> ())
+      nodes
+  in
+  go [] prog.Ast.nest;
+  List.rev !sites
+
+(* All combinations of per-site child permutations, each as a composite
+   reordering matrix. *)
+let reorder_matrices (layout : Layout.t) : Mat.t list =
+  let sites = reorder_sites layout.Layout.program in
+  let rec combos = function
+    | [] -> [ [] ]
+    | (path, m) :: rest ->
+        let tails = combos rest in
+        List.concat_map
+          (fun perm -> List.map (fun tail -> (path, perm) :: tail) tails)
+          (permutations (List.init m Fun.id))
+  in
+  (* Apply sites root-down (reorder_sites is in DFS order, so parents come
+     first); after reordering at [p], remap the paths of the deeper sites
+     that pass through [p]. *)
+  let remap_path p perm q =
+    let rec is_proper_prefix a b =
+      match (a, b) with [], _ :: _ -> true | x :: a', y :: b' -> x = y && is_proper_prefix a' b' | _ -> false
+    in
+    if not (is_proper_prefix p q) then q
+    else begin
+      let rec go a b =
+        match (a, b) with
+        | [], i :: rest -> List.nth perm i :: rest
+        | _ :: a', _ :: b' -> List.hd b :: go a' b'
+        | _ -> assert false
+      in
+      go p q
+    end
+  in
+  List.map
+    (fun assignment ->
+      let rec apply acc_m acc_layout = function
+        | [] -> acc_m
+        | (path, perm) :: rest ->
+            let r = Tmat.reorder acc_layout ~parent:path ~perm in
+            let m' = Mat.mul r acc_m in
+            let st =
+              match Blockstruct.infer acc_layout r with
+              | Ok st -> st
+              | Error msg -> failwith ("Completion.reorder_matrices: " ^ msg)
+            in
+            let rest' = List.map (fun (q, pm) -> (remap_path path perm q, pm)) rest in
+            apply m' st.Blockstruct.new_layout rest'
+      in
+      apply (Mat.identity (Layout.size layout)) layout assignment)
+    (combos sites)
+
+(* Search-ordering heuristic: a loop row's "natural" columns are those
+   outside its node's siblings' regions (at every ancestor level); the
+   relaxed block structure allows any column (padded sibling references
+   are meaningful), but natural columns are tried first. *)
+let allowed_columns (layout : Layout.t) : (int, bool array) Hashtbl.t =
+  let prog = layout.Layout.program in
+  let n = Layout.size layout in
+  let table = Hashtbl.create 8 in
+  let rec node_size = function
+    | Ast.Stmt _ -> 0
+    | Ast.If (_, b) | Ast.Let (_, _, b) -> List.fold_left (fun a x -> a + node_size x) 0 b
+    | Ast.Loop l ->
+        let m = List.length l.Ast.body in
+        1 + (if m >= 2 then m else 0) + List.fold_left (fun a x -> a + node_size x) 0 l.Ast.body
+  in
+  (* walk children regions: [base] is the start of the children region;
+     [banned] accumulates sibling columns from enclosing levels *)
+  let rec walk children base (banned : bool array) path =
+    let m = List.length children in
+    let nedges = if m >= 2 then m else 0 in
+    let sizes = Array.of_list (List.map node_size children) in
+    let starts = Array.make m 0 in
+    let cursor = ref (base + nedges) in
+    for i = m - 1 downto 0 do
+      starts.(i) <- !cursor;
+      cursor := !cursor + sizes.(i)
+    done;
+    List.iteri
+      (fun i child ->
+        let banned' = Array.copy banned in
+        List.iteri
+          (fun j _ ->
+            if j <> i then
+              for c = starts.(j) to starts.(j) + sizes.(j) - 1 do
+                banned'.(c) <- true
+              done)
+          children;
+        match child with
+        | Ast.Stmt _ -> ()
+        | Ast.If (_, b) | Ast.Let (_, _, b) -> walk b starts.(i) banned' (path @ [ i ])
+        | Ast.Loop l ->
+            let allowed = Array.map not banned' in
+            Hashtbl.replace table starts.(i) allowed;
+            walk l.Ast.body (starts.(i) + 1) banned' (path @ [ i ]))
+      children
+  in
+  walk prog.Ast.nest 0 (Array.make n false) [];
+  table
+
+(* ---- pruning ---- *)
+
+type prune = Viol | Sat | Unknown
+
+(* Scan the assigned prefix of the transformed common-loop projection. *)
+let prefix_class (coords : Interval.t list) : prune =
+  let rec go = function
+    | [] -> Unknown
+    | x :: rest ->
+        if Interval.definitely_zero x then go rest
+        else if Interval.definitely_positive x then Sat
+        else if Interval.definitely_nonneg x then go rest
+        else Viol
+  in
+  go coords
+
+(* ---- the search ---- *)
+
+let complete ?(options = default_options) ?(goal = fun _ -> true) (layout : Layout.t)
+    (deps : Dep.t list) ~(partial : Vec.t list) : Mat.t option =
+  let n = Layout.size layout in
+  let nodes_budget = ref options.max_nodes in
+  let allowed_tbl = allowed_columns layout in
+  let loop_cols =
+    Array.to_list layout.Layout.positions
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter_map (function i, Layout.Ploop _ -> Some i | _ -> None)
+  in
+  let structures =
+    if options.allow_reorder then reorder_matrices layout else [ Mat.identity n ]
+  in
+  let try_structure (r : Mat.t) : Mat.t option =
+    match Blockstruct.infer layout r with
+    | Error _ -> None
+    | Ok st ->
+        let old_to_new = st.Blockstruct.old_to_new in
+        let new_of_old = old_to_new in
+        (* new row index -> kind *)
+        let row_is_edge = Array.make n false in
+        let row_old_loop = Array.make n (-1) in
+        Array.iteri
+          (fun old_idx pos ->
+            match pos with
+            | Layout.Pedge _ -> row_is_edge.(new_of_old.(old_idx)) <- true
+            | Layout.Ploop _ -> row_old_loop.(new_of_old.(old_idx)) <- old_idx)
+          layout.Layout.positions;
+        (* template rows: edge rows come from the reorder matrix *)
+        let m = Mat.make n n in
+        let fixed = Array.make n false in
+        Array.iteri
+          (fun i flag ->
+            if flag then begin
+              m.(i) <- Vec.copy (Mat.row r i);
+              fixed.(i) <- true
+            end)
+          row_is_edge;
+        (* install the partial rows (the first rows of M) *)
+        let ok_partial =
+          List.for_all
+            (fun (i, row) ->
+              if row_is_edge.(i) then Vec.equal row m.(i)
+              else begin
+                m.(i) <- Vec.copy row;
+                fixed.(i) <- true;
+                true
+              end)
+            (List.mapi (fun i row -> (i, row)) partial)
+        in
+        if not ok_partial then None
+        else begin
+          (* per-dependence data for pruning: new positions of common
+             loops, ascending *)
+          let dep_info =
+            List.map
+              (fun (d : Dep.t) ->
+                let s1 = Layout.stmt_info layout d.Dep.src
+                and s2 = Layout.stmt_info layout d.Dep.dst in
+                let commons =
+                  Layout.common_loop_positions layout s1 s2
+                  |> List.map (fun p -> new_of_old.(p))
+                  |> List.sort compare
+                in
+                (d, commons))
+              deps
+          in
+          let row_coord (row : Vec.t) (d : Dep.t) : Interval.t =
+            let acc = ref (Interval.point Mpz.zero) in
+            Array.iteri (fun j dj -> acc := Interval.add !acc (Interval.scale row.(j) dj)) d.Dep.vector;
+            !acc
+          in
+          let todo =
+            List.init n Fun.id |> List.filter (fun i -> (not fixed.(i)) && row_old_loop.(i) >= 0)
+          in
+          let assigned_rows = ref (List.filter (fun i -> fixed.(i)) (List.init n Fun.id)) in
+          let rec assign = function
+            | [] ->
+                (* authoritative check *)
+                if Gauss.is_nonsingular m && goal m then
+                  match Legality.check layout m deps with
+                  | Legality.Legal _ -> Some (Mat.copy m)
+                  | Legality.Illegal _ -> None
+                else None
+            | i :: rest ->
+                let allowed =
+                  match Hashtbl.find_opt allowed_tbl row_old_loop.(i) with
+                  | Some a -> a
+                  | None -> Array.make n true
+                in
+                let natural, other = List.partition (fun c -> allowed.(c)) loop_cols in
+                let candidates =
+                  List.concat_map
+                    (fun c ->
+                      if options.allow_reversal then
+                        [ Vec.unit n c; Vec.scale_int (-1) (Vec.unit n c) ]
+                      else [ Vec.unit n c ])
+                    (natural @ other)
+                in
+                let rec try_cands = function
+                  | [] -> None
+                  | row :: more ->
+                      if !nodes_budget <= 0 then None
+                      else begin
+                        decr nodes_budget;
+                        (* independence w.r.t. already assigned rows *)
+                        let current = Array.of_list (List.map (fun j -> m.(j)) !assigned_rows) in
+                        let indep = Gauss.rank (Mat.append_row current row) > Gauss.rank current in
+                        if not indep then try_cands more
+                        else begin
+                          m.(i) <- row;
+                          fixed.(i) <- true;
+                          assigned_rows := i :: !assigned_rows;
+                          (* prune: any dependence certainly violated? *)
+                          let violated =
+                            List.exists
+                              (fun ((d : Dep.t), commons) ->
+                                (* only the contiguous assigned prefix of
+                                   the common rows is meaningful *)
+                                let rec take_prefix = function
+                                  | p :: rest when fixed.(p) -> row_coord m.(p) d :: take_prefix rest
+                                  | _ -> []
+                                in
+                                prefix_class (take_prefix commons) = Viol)
+                              dep_info
+                          in
+                          let result = if violated then None else assign rest in
+                          match result with
+                          | Some _ as r -> r
+                          | None ->
+                              fixed.(i) <- false;
+                              assigned_rows := List.tl !assigned_rows;
+                              m.(i) <- Vec.zero n;
+                              try_cands more
+                        end
+                      end
+                in
+                try_cands candidates
+          in
+          assign todo
+        end
+  in
+  let rec over_structures = function
+    | [] -> None
+    | r :: rest -> (
+        match try_structure r with Some m -> Some m | None -> over_structures rest)
+  in
+  over_structures structures

@@ -1,0 +1,75 @@
+(** Transformations for imperfectly nested loops — the public API.
+
+    This library implements Kodukula & Pingali's framework (SC 1996): a
+    program's dynamic statement instances are mapped to {e instance
+    vectors} ({!Inl_instance.Layout}), dependences between them are
+    computed exactly and abstracted as interval vectors
+    ({!Inl_depend.Analysis}), and loop transformations — permutation,
+    reversal, skewing, scaling, statement alignment and reordering,
+    distribution and jamming — are integer matrices acting on instance
+    vectors ({!Tmat}), closed under composition.  {!Legality} implements
+    Definition 6, {!Completion} the Section 6 completion procedure, and
+    {!Codegen}/{!Simplify} regenerate runnable loop nests (Section 5).
+
+    Quick start:
+    {[
+      let ctx = Inl.analyze_source "params N\ndo I = 1..N ... enddo" in
+      let m = Inl.Tmat.interchange ctx.layout "I" "J" in
+      match Inl.check ctx m with
+      | Inl.Legality.Legal _ -> let p = Inl.transform_exn ctx m in ...
+      | Inl.Legality.Illegal reason -> ...
+    ]} *)
+
+module Tmat = Tmat
+module Blockstruct = Blockstruct
+module Legality = Legality
+module Perstmt = Perstmt
+module Complete = Complete
+module Completion = Completion
+module Completion_ext = Completion_ext
+module Pipeline = Pipeline
+module Boundsgen = Boundsgen
+module Codegen = Codegen
+module Simplify = Simplify
+
+module Ast = Inl_ir.Ast
+module Parser = Inl_ir.Parser
+module Pp = Inl_ir.Pp
+module Layout = Inl_instance.Layout
+module Dep = Inl_depend.Dep
+module Analysis = Inl_depend.Analysis
+module Mat = Inl_linalg.Mat
+module Vec = Inl_linalg.Vec
+
+type context = { program : Ast.program; layout : Layout.t; deps : Dep.t list }
+
+(** Parse, lay out and analyze a program. *)
+let analyze ?padding (program : Ast.program) : context =
+  let layout = Layout.of_program ?padding program in
+  { program; layout; deps = Analysis.dependences layout }
+
+let analyze_source ?padding (src : string) : context = analyze ?padding (Parser.parse_exn src)
+
+let check (ctx : context) (m : Mat.t) : Legality.verdict = Legality.check ctx.layout m ctx.deps
+
+(** Generate the transformed program for a legal matrix; [simplify]
+    (default true) applies the cleanup pass of Section 5.5. *)
+let transform (ctx : context) ?(simplify = true) (m : Mat.t) : (Ast.program, string) result =
+  match check ctx m with
+  | Legality.Illegal msg -> Error msg
+  | Legality.Legal { structure; unsatisfied } ->
+      let prog = Codegen.generate structure ~unsatisfied in
+      Ok (if simplify then Simplify.simplify prog else prog)
+
+let transform_exn ctx ?simplify m =
+  match transform ctx ?simplify m with Ok p -> p | Error msg -> failwith msg
+
+(** The completion procedure (Section 6): extend the given first rows to
+    a full legal transformation. *)
+let complete ?options (ctx : context) ~(partial : Vec.t list) : Mat.t option =
+  Completion.complete ?options ctx.layout ctx.deps ~partial
+
+(** Compose a pipeline of named transformation steps (each phrased
+    against the program shape current at that step) into one matrix. *)
+let pipeline (ctx : context) (steps : Pipeline.step list) : (Mat.t, string) result =
+  Pipeline.compose ctx.layout steps

@@ -1,0 +1,88 @@
+module Mat = Inl_linalg.Mat
+module Interval = Inl_presburger.Interval
+module Dep = Inl_depend.Dep
+module Layout = Inl_instance.Layout
+
+type verdict =
+  | Legal of { structure : Blockstruct.t; unsatisfied : Dep.t list }
+  | Illegal of string
+
+let transformed_vector (m : Mat.t) (d : Dep.t) : Interval.t array =
+  Array.init (Mat.rows m) (fun i ->
+      let acc = ref (Interval.point Inl_num.Mpz.zero) in
+      Array.iteri
+        (fun j dj -> acc := Interval.add !acc (Interval.scale (Mat.get m i j) dj))
+        d.Dep.vector;
+      !acc)
+
+(* Is the interval-vector box certainly lexicographically non-negative,
+   and can it be entirely zero?  Scan: a coordinate that is definitely
+   positive satisfies everything after it; one that is definitely zero is
+   skipped; one that spans [0, hi] may be zero, so the suffix must also
+   pass; anything admitting a negative value fails. *)
+type lex_class = Satisfied | Possibly_zero | Violated
+
+let classify (p : Interval.t array) : lex_class =
+  let n = Array.length p in
+  let rec go i =
+    if i >= n then Possibly_zero
+    else begin
+      let x = p.(i) in
+      if Interval.definitely_zero x then go (i + 1)
+      else if Interval.definitely_positive x then Satisfied
+      else if Interval.definitely_nonneg x then
+        (* could be zero or positive: positive settles it, zero defers to
+           the suffix — so the suffix must pass on its own *)
+        match go (i + 1) with Satisfied -> Satisfied | Possibly_zero -> Possibly_zero | Violated -> Violated
+      else Violated
+    end
+  in
+  go 0
+
+let check (layout : Layout.t) (m : Mat.t) (deps : Dep.t list) : verdict =
+  match Blockstruct.infer layout m with
+  | Error msg -> Illegal ("block structure: " ^ msg)
+  | Ok structure -> (
+      let unsatisfied = ref [] in
+      let offending = ref None in
+      List.iter
+        (fun (d : Dep.t) ->
+          if !offending = None then begin
+            let td = transformed_vector m d in
+            let s_src = Layout.stmt_info layout d.src and s_dst = Layout.stmt_info layout d.dst in
+            (* common loops in the transformed program: map old loop
+               positions, then order by new position (outer-to-inner) *)
+            let common_new =
+              Layout.common_loop_positions layout s_src s_dst
+              |> List.map (fun old_pos -> structure.Blockstruct.old_to_new.(old_pos))
+              |> List.sort compare
+            in
+            let p = Array.of_list (List.map (fun i -> td.(i)) common_new) in
+            match classify p with
+            | Satisfied -> ()
+            | Violated ->
+                offending :=
+                  Some
+                    (Format.asprintf
+                       "dependence %a maps to a possibly lexicographically negative vector" Dep.pp d)
+            | Possibly_zero ->
+                if String.equal d.src d.dst then unsatisfied := d :: !unsatisfied
+                else begin
+                  (* syntactic order in the new AST must carry it *)
+                  let p_src = Blockstruct.map_path structure s_src.Layout.path in
+                  let p_dst = Blockstruct.map_path structure s_dst.Layout.path in
+                  if Inl_ir.Ast.syntactic_compare p_src p_dst >= 0 then
+                    offending :=
+                      Some
+                        (Format.asprintf
+                           "dependence %a can collapse to equal common-loop iterations, but %s \
+                            does not precede %s in the transformed program"
+                           Dep.pp d d.src d.dst)
+                end
+          end)
+        deps;
+      match !offending with
+      | Some msg -> Illegal msg
+      | None -> Legal { structure; unsatisfied = List.rev !unsatisfied })
+
+let is_legal layout m deps = match check layout m deps with Legal _ -> true | Illegal _ -> false

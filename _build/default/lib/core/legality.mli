@@ -1,0 +1,30 @@
+(** The legality test of Definition 6.
+
+    A transformation matrix [M] is legal when (i) it has the recursive
+    block structure ({!Blockstruct}), and (ii) for every dependence [d]
+    from [S1] to [S2], the projection [P] of [M.d] onto the loops common
+    to [S1] and [S2] (taken in the transformed program's outer-to-inner
+    order) satisfies [P > 0], or [P = 0] with [S1] syntactically before
+    [S2] in the new AST.  A self-dependence with [P = 0] is merely
+    {e unsatisfied}: it must later be carried by the extra loops added
+    during augmentation (Section 5.4), so the verdict reports the
+    unsatisfied dependences rather than rejecting them.
+
+    Dependence vectors are interval (box) abstractions, so the check is
+    conservative: [Legal] certifies every concrete dependent pair. *)
+
+module Mat = Inl_linalg.Mat
+module Interval = Inl_presburger.Interval
+module Dep = Inl_depend.Dep
+module Layout = Inl_instance.Layout
+
+type verdict =
+  | Legal of { structure : Blockstruct.t; unsatisfied : Dep.t list }
+  | Illegal of string
+
+val transformed_vector : Mat.t -> Dep.t -> Interval.t array
+(** [M . d] by exact interval arithmetic, indexed by new positions. *)
+
+val check : Layout.t -> Mat.t -> Dep.t list -> verdict
+
+val is_legal : Layout.t -> Mat.t -> Dep.t list -> bool

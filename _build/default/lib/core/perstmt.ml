@@ -1,0 +1,49 @@
+(* Per-statement transformations (Definition 7, Section 5.4).
+
+   A statement S nested in k loops has instance vectors iv = A_S i + b_S
+   (Layout embedding).  Under a transformation M the image vector is
+   (M A_S) i + M b_S; reading off the rows at the positions of the loops
+   surrounding S in the transformed AST gives the k x k per-statement
+   matrix T_S together with a constant offset (non-zero exactly when the
+   transformation aligns S).  T_S may be singular — Section 5.4's example
+   collapses S1's loop to the single row [0] — in which case augmentation
+   (Complete) adds rows. *)
+
+module Mpz = Inl_num.Mpz
+module Vec = Inl_linalg.Vec
+module Mat = Inl_linalg.Mat
+module Layout = Inl_instance.Layout
+
+type t = {
+  label : string;
+  matrix : Mat.t;  (* k x k *)
+  offset : Vec.t;  (* length k *)
+  new_loop_rows : int list;
+      (* positions (rows of M) of the statement's loops in the new layout,
+         outer-to-inner — the rows T_S was read from *)
+}
+
+let of_structure (st : Blockstruct.t) (label : string) : t =
+  let m = st.Blockstruct.matrix in
+  let si_old = Layout.stmt_info st.Blockstruct.old_layout label in
+  let a, b = si_old.Layout.embedding in
+  let ma = Mat.mul m a in
+  let mb = Mat.apply m b in
+  (* the statement's loops keep their identity across reordering: map old
+     loop positions to new ones, then order outer-to-inner *)
+  let rows =
+    List.map
+      (fun (lp, _) ->
+        st.Blockstruct.old_to_new.(Layout.position_of_loop st.Blockstruct.old_layout lp))
+      si_old.Layout.loops
+    |> List.sort compare
+  in
+  {
+    label;
+    matrix = Array.of_list (List.map (fun r -> Vec.copy (Mat.row ma r)) rows);
+    offset = Array.of_list (List.map (fun r -> mb.(r)) rows);
+    new_loop_rows = rows;
+  }
+
+let rank (t : t) = Inl_linalg.Gauss.rank t.matrix
+let is_singular (t : t) = rank t < Mat.rows t.matrix

@@ -1,0 +1,29 @@
+(** Per-statement transformations (Definition 7, Section 5.4).
+
+    A statement S nested in [k] loops has instance vectors
+    [iv = A_S i + b_S] (the layout embedding).  Under a transformation
+    matrix [M] the image vector is [(M A_S) i + M b_S]; reading off the
+    rows at the positions of S's loops in the transformed AST gives the
+    [k x k] per-statement matrix together with a constant offset
+    (non-zero exactly when the transformation aligns S).  The matrix may
+    be singular — Section 5.4's example collapses S1's loop to the single
+    row [[0]] — in which case {!Complete} adds rows. *)
+
+module Mat = Inl_linalg.Mat
+module Vec = Inl_linalg.Vec
+
+type t = {
+  label : string;
+  matrix : Mat.t;  (** the [k x k] per-statement transformation [T_S] *)
+  offset : Vec.t;  (** alignment offset, length [k] *)
+  new_loop_rows : int list;
+      (** positions (rows of [M]) of the statement's loops in the new
+          layout, outer to inner — the rows [T_S] was read from *)
+}
+
+val of_structure : Blockstruct.t -> string -> t
+(** [of_structure st label] extracts the per-statement transformation of
+    the labeled statement from a checked block structure. *)
+
+val rank : t -> int
+val is_singular : t -> bool

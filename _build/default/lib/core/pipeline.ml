@@ -1,0 +1,46 @@
+module Mat = Inl_linalg.Mat
+module Ast = Inl_ir.Ast
+module Layout = Inl_instance.Layout
+
+type step =
+  | Interchange of string * string
+  | Reverse of string
+  | Scale of string * int
+  | Skew of { target : string; source : string; factor : int }
+  | Align of { stmt : string; loop : string; amount : int }
+  | Reorder of { parent : Ast.path; perm : int list }
+
+let pp_step fmt = function
+  | Interchange (a, b) -> Format.fprintf fmt "interchange %s<->%s" a b
+  | Reverse v -> Format.fprintf fmt "reverse %s" v
+  | Scale (v, k) -> Format.fprintf fmt "scale %s by %d" v k
+  | Skew { target; source; factor } -> Format.fprintf fmt "skew %s by %d*%s" target factor source
+  | Align { stmt; loop; amount } -> Format.fprintf fmt "align %s w.r.t. %s by %d" stmt loop amount
+  | Reorder { parent; perm } ->
+      Format.fprintf fmt "reorder [%s] by (%s)"
+        (String.concat ";" (List.map string_of_int parent))
+        (String.concat "," (List.map string_of_int perm))
+
+let build (layout : Layout.t) (step : step) : Mat.t =
+  match step with
+  | Interchange (a, b) -> Tmat.interchange layout a b
+  | Reverse v -> Tmat.reversal layout v
+  | Scale (v, k) -> Tmat.scaling layout v k
+  | Skew { target; source; factor } -> Tmat.skew layout ~target ~source ~factor
+  | Align { stmt; loop; amount } -> Tmat.align layout ~stmt ~loop ~amount
+  | Reorder { parent; perm } -> Tmat.reorder layout ~parent ~perm
+
+let compose (layout : Layout.t) (steps : step list) : (Mat.t, string) result =
+  let rec go acc layout = function
+    | [] -> Ok acc
+    | step :: rest -> (
+        match build layout step with
+        | exception (Not_found | Failure _ | Invalid_argument _) ->
+            Error (Format.asprintf "step '%a' failed against the current program shape" pp_step step)
+        | m -> (
+            let acc' = Mat.mul m acc in
+            match Blockstruct.infer layout m with
+            | Ok st -> go acc' st.Blockstruct.new_layout rest
+            | Error msg -> Error (Format.asprintf "step '%a': %s" pp_step step msg)))
+  in
+  go (Mat.identity (Layout.size layout)) layout steps

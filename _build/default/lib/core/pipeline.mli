@@ -1,0 +1,28 @@
+(** Multi-step transformation pipelines.
+
+    Sequences of transformations compose by matrix product (the paper's
+    central algebraic property), but each step's {e builder} must be
+    phrased against the program shape produced by the previous steps
+    (statement reordering changes which positions are which).  This
+    module owns that bookkeeping: it applies steps left to right,
+    rebuilding the layout through {!Blockstruct} after each one, and
+    returns the single composite matrix. *)
+
+module Mat = Inl_linalg.Mat
+module Ast = Inl_ir.Ast
+module Layout = Inl_instance.Layout
+
+type step =
+  | Interchange of string * string
+  | Reverse of string
+  | Scale of string * int
+  | Skew of { target : string; source : string; factor : int }
+  | Align of { stmt : string; loop : string; amount : int }
+  | Reorder of { parent : Ast.path; perm : int list }
+      (** [parent] is a path in the program shape current at this step *)
+
+val pp_step : Format.formatter -> step -> unit
+
+val compose : Layout.t -> step list -> (Mat.t, string) result
+(** The composite matrix over the original layout, or an error naming the
+    failing step. *)

@@ -1,0 +1,243 @@
+(* The "standard optimizations" of Section 5.5 that clean up generated
+   code:
+
+   - integral [Let] bindings (denominator 1) are substituted into their
+     bodies and removed, recovering the paper's direct-subscript style for
+     unimodular transformations;
+   - guards implied by the enclosing context (loop bounds, other guards,
+     let definitions) are dropped, using the exact integer decision
+     procedure;
+   - empty [If]s are spliced away. *)
+
+module Mpz = Inl_num.Mpz
+module Linexpr = Inl_presburger.Linexpr
+module Constr = Inl_presburger.Constr
+module System = Inl_presburger.System
+module Omega = Inl_presburger.Omega
+module Ast = Inl_ir.Ast
+
+(* ---- Let substitution ---- *)
+
+let affine_to_expr (e : Linexpr.t) : Ast.expr =
+  let terms =
+    Linexpr.fold
+      (fun v c acc ->
+        let t =
+          if Mpz.is_one c then Ast.Evar v
+          else Ast.Ebin (Ast.Mul, Ast.Econst (float_of_int (Mpz.to_int c)), Ast.Evar v)
+        in
+        t :: acc)
+      e []
+  in
+  let const = Mpz.to_int (Linexpr.constant e) in
+  let base = if const <> 0 || terms = [] then Some (Ast.Econst (float_of_int const)) else None in
+  let all = match base with Some b -> terms @ [ b ] | None -> terms in
+  match all with
+  | [] -> Ast.Econst 0.
+  | x :: rest -> List.fold_left (fun acc t -> Ast.Ebin (Ast.Add, acc, t)) x rest
+
+let subst_expr (v : string) (def : Linexpr.t) : Ast.expr -> Ast.expr =
+  let rec walk e =
+    match e with
+    | Ast.Evar x when String.equal x v -> affine_to_expr def
+    | Ast.Evar _ | Ast.Econst _ -> e
+    | Ast.Eref r -> Ast.Eref { r with Ast.index = List.map (fun a -> Linexpr.subst a v def) r.Ast.index }
+    | Ast.Ebin (op, a, b) -> Ast.Ebin (op, walk a, walk b)
+    | Ast.Ecall (f, args) -> Ast.Ecall (f, List.map walk args)
+  in
+  walk
+
+let subst_guard v def = function
+  | Ast.Gcmp (k, e) -> Ast.Gcmp (k, Linexpr.subst e v def)
+  | Ast.Gdiv (d, e) -> Ast.Gdiv (d, Linexpr.subst e v def)
+
+let subst_bterm v def ({ Ast.num; den } : Ast.bterm) : Ast.bterm =
+  { Ast.num = Linexpr.subst num v def; den }
+
+let subst_bound v def (b : Ast.bound) : Ast.bound =
+  { b with Ast.terms = List.map (subst_bterm v def) b.Ast.terms }
+
+let rec subst_node v def (node : Ast.node) : Ast.node =
+  match node with
+  | Ast.Stmt s ->
+      Ast.Stmt
+        {
+          s with
+          Ast.lhs = { s.Ast.lhs with Ast.index = List.map (fun a -> Linexpr.subst a v def) s.Ast.lhs.Ast.index };
+          rhs = subst_expr v def s.Ast.rhs;
+        }
+  | Ast.If (gs, body) -> Ast.If (List.map (subst_guard v def) gs, List.map (subst_node v def) body)
+  | Ast.Let (x, bt, body) ->
+      if String.equal x v then Ast.Let (x, subst_bterm v def bt, body)
+      else Ast.Let (x, subst_bterm v def bt, List.map (subst_node v def) body)
+  | Ast.Loop l ->
+      Ast.Loop
+        {
+          l with
+          Ast.lower = subst_bound v def l.Ast.lower;
+          upper = subst_bound v def l.Ast.upper;
+          body = List.map (subst_node v def) l.Ast.body;
+        }
+
+let rec inline_integral_lets (node : Ast.node) : Ast.node list =
+  match node with
+  | Ast.Stmt _ -> [ node ]
+  | Ast.If (gs, body) -> [ Ast.If (gs, List.concat_map inline_integral_lets body) ]
+  | Ast.Loop l -> [ Ast.Loop { l with Ast.body = List.concat_map inline_integral_lets l.Ast.body } ]
+  | Ast.Let (v, { Ast.num; den }, body) ->
+      if Mpz.is_one den then
+        List.concat_map inline_integral_lets (List.map (subst_node v num) body)
+      else [ Ast.Let (v, { Ast.num; den }, List.concat_map inline_integral_lets body) ]
+
+(* ---- guard elimination ---- *)
+
+(* Conjunctive facts contributed by an enclosing construct. *)
+let bound_facts (l : Ast.loop) : Constr.t list =
+  let v = Linexpr.var l.Ast.var in
+  (* a covering (union) bound yields conjunctive facts only when it has a
+     single term, in which case the combiner is irrelevant *)
+  let lowers =
+    if l.Ast.lower.Ast.combine = `Max || List.length l.Ast.lower.Ast.terms = 1 then
+      List.map
+        (fun ({ Ast.num; den } : Ast.bterm) -> Constr.ge2 (Linexpr.scale den v) num)
+        l.Ast.lower.Ast.terms
+    else []
+  in
+  let uppers =
+    if l.Ast.upper.Ast.combine = `Min || List.length l.Ast.upper.Ast.terms = 1 then
+      List.map
+        (fun ({ Ast.num; den } : Ast.bterm) -> Constr.le2 (Linexpr.scale den v) num)
+        l.Ast.upper.Ast.terms
+    else []
+  in
+  lowers @ uppers
+
+let guard_fact = function
+  | Ast.Gcmp (`Ge, e) -> Some (Constr.ge e)
+  | Ast.Gcmp (`Eq, e) -> Some (Constr.eq e)
+  | Ast.Gdiv _ -> None
+
+let let_fact v ({ Ast.num; den } : Ast.bterm) = Constr.eq2 (Linexpr.scale den (Linexpr.var v)) num
+
+(* Remove dominated bound terms: inside a max a term that never exceeds
+   another may go, inside a min a term that is never below another may
+   go.  Dominance is decided on the rational values (t1/d1 <= t2/d2 under
+   the context), which implies the same ordering of the rounded values. *)
+let prune_bound_terms context (b : Ast.bound) : Ast.bound =
+  if List.length b.Ast.terms <= 1 then b
+  else begin
+    let sys = System.of_list context in
+    let le (t1 : Ast.bterm) (t2 : Ast.bterm) =
+      (* t1/d1 <= t2/d2  <=>  d1*num2 - d2*num1 >= 0 *)
+      Omega.implies sys
+        (Constr.ge
+           (Linexpr.sub (Linexpr.scale t1.Ast.den t2.Ast.num) (Linexpr.scale t2.Ast.den t1.Ast.num)))
+    in
+    (* under Max, drop t when t <= o for some other kept term o; under Min,
+       drop t when o <= t *)
+    let superseded t o = match b.Ast.combine with `Max -> le t o | `Min -> le o t in
+    let rec go kept = function
+      | [] -> List.rev kept
+      | t :: rest ->
+          if List.exists (fun o -> superseded t o) (kept @ rest) then go kept rest
+          else go (t :: kept) rest
+    in
+    match go [] b.Ast.terms with [] -> b | terms -> { b with Ast.terms }
+  end
+
+let prune_guards (prog : Ast.program) : Ast.program =
+  let rec walk context node =
+    match node with
+    | Ast.Stmt _ -> [ node ]
+    | Ast.Loop l ->
+        let l =
+          {
+            l with
+            Ast.lower = prune_bound_terms context l.Ast.lower;
+            upper = prune_bound_terms context l.Ast.upper;
+          }
+        in
+        let ctx' = bound_facts l @ context in
+        [ Ast.Loop { l with Ast.body = List.concat_map (walk ctx') l.Ast.body } ]
+    | Ast.Let (v, bt, body) ->
+        let ctx' = let_fact v bt :: context in
+        [ Ast.Let (v, bt, List.concat_map (walk ctx') body) ]
+    | Ast.If (gs, body) ->
+        let sys = System.of_list context in
+        let keep =
+          List.filter
+            (fun g ->
+              match g with
+              | Ast.Gcmp (`Ge, e) -> not (Omega.implies sys (Constr.ge e))
+              | Ast.Gcmp (`Eq, e) -> not (Omega.implies sys (Constr.eq e))
+              | Ast.Gdiv (d, _) when Mpz.is_one d -> false
+              | Ast.Gdiv (d, e) ->
+                  (* the context implies d | e iff context with a non-zero
+                     remainder (e = d w + r, 1 <= r <= d-1) is unsat *)
+                  let r = Omega.fresh_var () and w = Omega.fresh_var () in
+                  let non_divisible =
+                    [
+                      Constr.eq2 e (Linexpr.add (Linexpr.term d w) (Linexpr.var r));
+                      Constr.ge2 (Linexpr.var r) (Linexpr.of_int 1);
+                      Constr.le2 (Linexpr.var r) (Linexpr.const (Mpz.pred d));
+                    ]
+                  in
+                  Omega.satisfiable (System.append non_divisible sys))
+            gs
+        in
+        let ctx' = List.filter_map guard_fact gs @ context in
+        let body' = List.concat_map (walk ctx') body in
+        if keep = [] then body' else [ Ast.If (keep, body') ]
+  in
+  { prog with Ast.nest = List.concat_map (walk []) prog.Ast.nest }
+
+(* ---- stride recovery ----
+
+   The "steps" half of Lemma 3: a loop whose body is a single
+   [if (v - c mod d = 0)] (with the loop's own variable v) enumerates an
+   arithmetic progression; when the loop's lower bound is a constant
+   already on the progression, the guard becomes a step.  This recovers
+   the strided loops the paper's non-unimodular transformations (e.g.
+   scaling) imply, instead of a guard executed every iteration. *)
+
+let recover_strides (prog : Ast.program) : Ast.program =
+  let rec walk node =
+    match node with
+    | Ast.Stmt _ -> node
+    | Ast.If (gs, body) -> Ast.If (gs, List.map walk body)
+    | Ast.Let (v, bt, body) -> Ast.Let (v, bt, List.map walk body)
+    | Ast.Loop l -> (
+        let l = { l with Ast.body = List.map walk l.Ast.body } in
+        match (l.Ast.body, l.Ast.lower.Ast.terms) with
+        | [ Ast.If (gs, inner) ], [ lo ]
+          when Mpz.is_one l.Ast.step
+               && Mpz.is_one lo.Ast.den
+               && Linexpr.is_constant lo.Ast.num ->
+            let lo_c = Linexpr.constant lo.Ast.num in
+            (* find a guard d | (v + c) whose progression starts at lo *)
+            let matches g =
+              match g with
+              | Ast.Gdiv (d, e) ->
+                  let a = Linexpr.coeff e l.Ast.var in
+                  let rest = Linexpr.sub e (Linexpr.term a l.Ast.var) in
+                  Mpz.is_one (Mpz.abs a)
+                  && Linexpr.is_constant rest
+                  && Mpz.is_zero
+                       (Mpz.fmod
+                          (Linexpr.eval e (fun x ->
+                               if String.equal x l.Ast.var then lo_c else Mpz.zero))
+                          d)
+              | _ -> false
+            in
+            (match List.partition matches gs with
+            | Ast.Gdiv (d, _) :: _, others ->
+                let body' = if others = [] then inner else [ Ast.If (others, inner) ] in
+                Ast.Loop { l with Ast.step = d; body = body' }
+            | _ -> Ast.Loop l)
+        | _ -> Ast.Loop l)
+  in
+  { prog with Ast.nest = List.map walk prog.Ast.nest }
+
+let simplify (prog : Ast.program) : Ast.program =
+  let prog = { prog with Ast.nest = List.concat_map inline_integral_lets prog.Ast.nest } in
+  recover_strides (prune_guards prog)

@@ -1,0 +1,18 @@
+(** The "standard optimizations" of Section 5.5 that clean generated
+    code, driven by the exact integer decision procedure:
+
+    - integral [Let] bindings (denominator 1) are substituted into their
+      bodies and removed, recovering direct-subscript style for
+      unimodular transformations;
+    - guards implied by the enclosing context (loop bounds, other guards,
+      let definitions) are dropped — including divisibility guards,
+      decided by a remainder-satisfiability query;
+    - dominated bound terms are removed from [min]/[max] bounds;
+    - empty [If]s are spliced away.
+
+    Semantics-preserving by construction: every removal is justified by
+    an implication checked with {!Inl_presburger.Omega}. *)
+
+module Ast = Inl_ir.Ast
+
+val simplify : Ast.program -> Ast.program

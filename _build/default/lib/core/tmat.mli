@@ -1,0 +1,61 @@
+(** Constructors for the transformation matrices of Section 4, phrased
+    against a program's instance-vector layout.
+
+    All constructors return square integer matrices acting on instance
+    vectors (rows = transformed positions, columns = original positions);
+    sequences of transformations compose by matrix product ({!compose}),
+    the paper's central algebraic property. *)
+
+module Mpz = Inl_num.Mpz
+module Mat = Inl_linalg.Mat
+module Ast = Inl_ir.Ast
+module Layout = Inl_instance.Layout
+
+val identity : Layout.t -> Mat.t
+
+val loop_position : Layout.t -> string -> int
+(** Position of the unique loop with the given variable name.
+    @raise Not_found if absent; @raise Failure if ambiguous. *)
+
+val interchange : Layout.t -> string -> string -> Mat.t
+(** Loop permutation (Section 4.1): swaps two loop positions. *)
+
+val reversal : Layout.t -> string -> Mat.t
+(** Identity with [-1] at the reversed loop's diagonal entry. *)
+
+val scaling : Layout.t -> string -> int -> Mat.t
+(** Identity with the scale factor at the loop's diagonal entry.
+    @raise Invalid_argument on a zero factor. *)
+
+val skew : Layout.t -> target:string -> source:string -> factor:int -> Mat.t
+(** [skew ~target ~source ~factor]: the target loop's row gains
+    [factor] at the source loop's column, i.e. [target' = target +
+    factor * source]. *)
+
+val align : Layout.t -> stmt:string -> loop:string -> amount:int -> Mat.t
+(** Statement alignment (Section 4.3): shifts the given statement's
+    iterations with respect to the loop by [amount], using the deepest
+    edge column on the statement's path (which is 1 exactly for that
+    statement's instances).
+    @raise Failure when the statement has no edge position on its path
+    (it is then the only statement, and alignment is meaningless). *)
+
+val reorder : Layout.t -> parent:Ast.path -> perm:int list -> Mat.t
+(** Statement reordering (Section 4.2): permutes the children of the node
+    at [parent]; [List.nth perm i] is the new index of old child [i]. *)
+
+val compose : Mat.t -> Mat.t -> Mat.t
+(** [compose second first] applies [first], then [second]. *)
+
+val distribute : Layout.t -> at:int -> Mat.t * Ast.program
+(** Loop distribution (Section 4.2) of a program whose nest is one
+    top-level loop: splits its children into groups [0..at-1] and
+    [at..m-1], each under its own copy of the loop.  Returns the paper's
+    non-square matrix together with the distributed program.
+    @raise Invalid_argument if the program shape does not match. *)
+
+val jam : Layout.t -> Mat.t * Ast.program
+(** Loop jamming: fuses a program consisting of exactly two top-level
+    loops into one (the inverse of {!distribute}); bounds are taken from
+    the first loop.  Returns the non-square matrix and fused program.
+    @raise Invalid_argument if the program shape does not match. *)

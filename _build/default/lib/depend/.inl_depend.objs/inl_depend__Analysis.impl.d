@@ -1,0 +1,1 @@
+lib/depend/analysis.ml: Array Dep Fun Hashtbl Inl_instance Inl_ir Inl_linalg Inl_num Inl_presburger List Printf String

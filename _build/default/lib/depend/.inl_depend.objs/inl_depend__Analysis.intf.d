@@ -1,0 +1,1 @@
+lib/depend/analysis.mli: Dep Inl_instance Inl_ir Inl_presburger

@@ -1,0 +1,1 @@
+lib/depend/dep.ml: Array Format Inl_presburger List Printf String

@@ -1,0 +1,1 @@
+lib/depend/dep.mli: Format Inl_presburger

@@ -1,0 +1,40 @@
+(** Dependence analysis for imperfectly nested loops (Section 3).
+
+    For every ordered pair of conflicting references (at least one a
+    write, same array) the analyzer builds the affine system of
+    Equations 2-3 — loop bounds for both instances, subscript equality,
+    and execution order — and projects it onto the instance-vector
+    difference coordinates with the exact integer engine
+    ({!Inl_presburger.Omega}).  Execution order is handled per level, as
+    is standard: one candidate system per common loop that could carry
+    the dependence, plus the loop-independent case when the source
+    precedes the target syntactically. *)
+
+module Layout = Inl_instance.Layout
+
+val bounds_constraints :
+  Layout.stmt_info -> (string -> string) -> Inl_presburger.Constr.t list
+(** Loop-bound constraints for one statement's instance, with the loop
+    variables renamed by the given function (parameters untouched).
+    Exposed for reuse by code generation.
+    @raise Invalid_argument on covering (union) bounds, which only appear
+    in generated programs. *)
+
+val reads_of : Layout.stmt_info -> Inl_ir.Ast.aref list
+(** Array references read by the statement, left to right. *)
+
+val writes_of : Layout.stmt_info -> Inl_ir.Ast.aref list
+
+val dependences : Layout.t -> Dep.t list
+(** All dependences of the program underlying the layout, in a
+    deterministic order (by statement pair, kind, then level). *)
+
+val self_dependences : Dep.t list -> string -> Dep.t list
+(** Dependences whose source and target are both the given statement. *)
+
+val concrete_dependences :
+  Layout.t -> params:(string * int) list -> (string * string * Dep.kind * int array) list
+(** Test oracle: runs the program's access pattern exhaustively for the
+    given parameter values and reports every dependent instance pair as
+    [(src, dst, kind, instance-vector difference)].  Exponential; small
+    parameters only. *)

@@ -1,0 +1,55 @@
+module Interval = Inl_presburger.Interval
+
+type kind = Flow | Anti | Output
+
+type level = Independent | Carried of int
+
+type t = {
+  src : string;
+  dst : string;
+  array : string;
+  kind : kind;
+  level : level;
+  vector : Interval.t array;
+}
+
+let kind_to_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+let level_to_string = function
+  | Independent -> "independent"
+  | Carried k -> Printf.sprintf "carried(%d)" k
+
+let vector_symbols d = Array.to_list (Array.map Interval.to_symbol d.vector)
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s->%s on %s [%s] (%s)" (kind_to_string d.kind) d.src d.dst d.array
+    (String.concat ", " (vector_symbols d))
+    (level_to_string d.level)
+
+let pp_matrix fmt (deps : t list) =
+  match deps with
+  | [] -> Format.fprintf fmt "(no dependences)"
+  | d0 :: _ ->
+      let n = Array.length d0.vector in
+      let cols = List.map vector_symbols deps in
+      let widths =
+        List.map (fun col -> List.fold_left (fun acc s -> max acc (String.length s)) 1 col) cols
+      in
+      Format.fprintf fmt "@[<v>";
+      Format.fprintf fmt "%s@,"
+        (String.concat "  "
+           (List.map2
+              (fun d w -> Printf.sprintf "%-*s" w (Printf.sprintf "%s>%s" d.src d.dst))
+              deps
+              (List.map2 (fun w d -> max w (String.length d.src + String.length d.dst + 1)) widths deps)));
+      for i = 0 to n - 1 do
+        let row =
+          List.map2
+            (fun col (w, d) ->
+              Printf.sprintf "%-*s" (max w (String.length d.src + String.length d.dst + 1)) (List.nth col i))
+            cols
+            (List.combine widths deps)
+        in
+        Format.fprintf fmt "%s@," (String.concat "  " row)
+      done;
+      Format.fprintf fmt "@]"

@@ -1,0 +1,37 @@
+(** Dependences between dynamic statement instances (Section 3).
+
+    A dependence is recorded as an instance-vector difference abstracted
+    coordinate-wise by integer intervals ({!Inl_presburger.Interval}),
+    which strictly generalizes the classical distance/direction entries:
+    an exact distance is a point interval, [+]/[-]/[*] are half-lines and
+    the full line.  Positions include the structural (edge-label)
+    coordinates, so e.g. the flow dependence of simplified Cholesky reads
+    [[0, 1, -1, +]'] exactly as in the paper. *)
+
+module Interval = Inl_presburger.Interval
+
+type kind = Flow | Anti | Output
+
+type level =
+  | Independent  (** common loops at equal values; syntactic order carries *)
+  | Carried of int  (** carried by the [k]-th common loop (1-based) *)
+
+type t = {
+  src : string;  (** label of the source statement *)
+  dst : string;  (** label of the target statement *)
+  array : string;  (** the conflicting array *)
+  kind : kind;
+  level : level;
+  vector : Interval.t array;  (** one entry per instance-vector position *)
+}
+
+val kind_to_string : kind -> string
+val level_to_string : level -> string
+val pp : Format.formatter -> t -> unit
+
+val vector_symbols : t -> string list
+(** Paper notation, one symbol per coordinate. *)
+
+val pp_matrix : Format.formatter -> t list -> unit
+(** Prints the dependence matrix: one column per dependence, one row per
+    instance-vector position. *)

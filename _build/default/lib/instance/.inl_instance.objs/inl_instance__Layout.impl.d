@@ -1,0 +1,1 @@
+lib/instance/layout.ml: Array Format Fun Inl_ir Inl_linalg Inl_num List Printf String

@@ -1,0 +1,1 @@
+lib/instance/layout.mli: Format Inl_ir Inl_linalg Inl_num

@@ -1,0 +1,1 @@
+lib/instance/order.ml: Array Inl_ir Layout List Stdlib

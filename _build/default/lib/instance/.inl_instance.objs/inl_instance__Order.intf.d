@@ -1,0 +1,1 @@
+lib/instance/order.mli: Layout

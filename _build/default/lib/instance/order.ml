@@ -1,0 +1,25 @@
+(* Program order on dynamic instances (Definition 2): compare the loop
+   values of the common loops lexicographically, breaking ties by
+   syntactic order.  Because common loops are a prefix of both statements'
+   loop lists, the comparison reads a prefix of each iteration vector.
+
+   This is the oracle against which Theorem 1 (instance vectors order
+   exactly like execution) is tested. *)
+
+module Ast = Inl_ir.Ast
+
+type instance = { label : string; iters : int array }
+
+let make label iters = { label; iters }
+
+(* [compare layout a b] orders two dynamic instances by Definition 2. *)
+let compare (layout : Layout.t) (a : instance) (b : instance) : int =
+  let sa = Layout.stmt_info layout a.label and sb = Layout.stmt_info layout b.label in
+  let ncommon = List.length (Layout.common_loops layout sa sb) in
+  let rec cmp i =
+    if i >= ncommon then Ast.syntactic_compare sa.path sb.path
+    else
+      let c = Stdlib.compare a.iters.(i) b.iters.(i) in
+      if c <> 0 then c else cmp (i + 1)
+  in
+  cmp 0

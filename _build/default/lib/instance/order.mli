@@ -1,0 +1,11 @@
+(** Program order on dynamic instances (Definition 2): compare the loop
+    values of the common loops lexicographically, breaking ties by
+    syntactic order.  The oracle against which Theorem 1 (instance
+    vectors order exactly like execution) is tested. *)
+
+type instance = { label : string; iters : int array }
+
+val make : string -> int array -> instance
+
+val compare : Layout.t -> instance -> instance -> int
+(** Total order on the dynamic instances of one program. *)

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Float Hashtbl Inl_ir Inl_num Int64 List Printf String

@@ -1,0 +1,136 @@
+module Mpz = Inl_num.Mpz
+module Ast = Inl_ir.Ast
+module Meval = Inl_ir.Meval
+
+type cell = string * int list
+
+type access = { array : string; index : int list; kind : [ `Read | `Write ] }
+
+type store = (cell, float) Hashtbl.t
+
+(* Deterministic pseudo-random values: a small integer hash folded into
+   (1, 2) so that divisions and square roots stay well-behaved. *)
+let mix h x = (h * 1000003) lxor x
+
+let default_init name index =
+  let h = List.fold_left mix (Hashtbl.hash name) index land 0xFFFFF in
+  1.0 +. (float_of_int h /. 1048576.0)
+
+let call_value fname (args : float list) =
+  match (fname, args) with
+  | "sqrt", [ x ] -> Float.sqrt (Float.abs x)
+  | "abs", [ x ] -> Float.abs x
+  | "min", [ a; b ] -> Float.min a b
+  | "max", [ a; b ] -> Float.max a b
+  | _ ->
+      let h =
+        List.fold_left (fun acc a -> mix acc (Hashtbl.hash (Int64.bits_of_float a))) (Hashtbl.hash fname) args
+      in
+      1.0 +. (float_of_int (h land 0xFFFFF) /. 1048576.0)
+
+let run ?(init = default_init) ?(trace = fun _ -> ()) (prog : Ast.program)
+    ~(params : (string * int) list) : store =
+  let store : store = Hashtbl.create 256 in
+  let read_cell array index =
+    let cell = (array, index) in
+    trace { array; index; kind = `Read };
+    match Hashtbl.find_opt store cell with
+    | Some v -> v
+    | None ->
+        let v = init array index in
+        Hashtbl.replace store cell v;
+        v
+  in
+  let write_cell array index v =
+    trace { array; index; kind = `Write };
+    Hashtbl.replace store (array, index) v
+  in
+  let rec exec bindings nodes =
+    let env v =
+      match List.assoc_opt v bindings with
+      | Some x -> x
+      | None -> (
+          match List.assoc_opt v params with
+          | Some x -> x
+          | None -> invalid_arg (Printf.sprintf "Interp.run: unbound variable %s" v))
+    in
+    let eval_index (r : Ast.aref) = List.map (Meval.eval_affine env) r.Ast.index in
+    let rec eval_expr = function
+      | Ast.Econst f -> f
+      | Ast.Evar v -> float_of_int (env v)
+      | Ast.Eref r -> read_cell r.Ast.array (eval_index r)
+      | Ast.Ebin (op, a, b) -> (
+          let x = eval_expr a and y = eval_expr b in
+          match op with
+          | Ast.Add -> x +. y
+          | Ast.Sub -> x -. y
+          | Ast.Mul -> x *. y
+          | Ast.Div -> x /. y)
+      | Ast.Ecall (f, args) -> call_value f (List.map eval_expr args)
+    in
+    List.iter
+      (function
+        | Ast.Stmt s ->
+            let v = eval_expr s.Ast.rhs in
+            write_cell s.Ast.lhs.Ast.array (eval_index s.Ast.lhs) v
+        | Ast.If (gs, body) -> if Meval.eval_guards env gs then exec bindings body
+        | Ast.Let (v, { Ast.num; den }, body) ->
+            let value = Meval.eval_affine env num in
+            let d = Mpz.to_int den in
+            if not (Mpz.is_zero (Mpz.fmod (Mpz.of_int value) den)) then
+              invalid_arg (Printf.sprintf "Interp.run: let %s: %d not divisible by %d" v value d);
+            let q = Mpz.to_int (Mpz.fdiv (Mpz.of_int value) den) in
+            exec ((v, q) :: bindings) body
+        | Ast.Loop l -> Meval.iter_loop env l (fun i -> exec ((l.Ast.var, i) :: bindings) l.Ast.body))
+      nodes
+  in
+  exec [] prog.Ast.nest;
+  store
+
+(* Bit-level equality: exact, and NaN-stable (a legal transformation that
+   reproduces the same NaN must not be reported as a difference). *)
+let feq (v : float) (w : float) = Int64.bits_of_float v = Int64.bits_of_float w
+
+let stores_equal (a : store) (b : store) =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun cell v acc ->
+         acc && match Hashtbl.find_opt b cell with Some w -> feq v w | None -> false)
+       a true
+
+let equivalent p1 p2 ~params =
+  let s1 = run p1 ~params and s2 = run p2 ~params in
+  let diff = ref None in
+  Hashtbl.iter
+    (fun cell v ->
+      if !diff = None then
+        match Hashtbl.find_opt s2 cell with
+        | Some w when feq v w -> ()
+        | Some w ->
+            let name, idx = cell in
+            diff :=
+              Some
+                (Printf.sprintf "%s(%s): %.17g vs %.17g" name
+                   (String.concat "," (List.map string_of_int idx))
+                   v w)
+        | None ->
+            let name, idx = cell in
+            diff :=
+              Some
+                (Printf.sprintf "%s(%s) touched only by the first program" name
+                   (String.concat "," (List.map string_of_int idx))))
+    s1;
+  if !diff = None then
+    Hashtbl.iter
+      (fun cell _ ->
+        if !diff = None && not (Hashtbl.mem s1 cell) then begin
+          let name, idx = cell in
+          diff :=
+            Some
+              (Printf.sprintf "%s(%s) touched only by the second program" name
+                 (String.concat "," (List.map string_of_int idx)))
+        end)
+      s2;
+  match !diff with None -> Ok () | Some d -> Error d
+
+let operation_count (prog : Ast.program) ~params = List.length (Meval.enumerate prog ~params)

@@ -1,0 +1,47 @@
+(** An interpreter for loop-nest programs — the execution substrate of
+    this reproduction (standing in for the paper's Polaris test-bed).
+
+    Two roles: the {e semantic-equivalence oracle} for code generation
+    (run the source and the transformed program on the same inputs and
+    compare final stores — legal transformations preserve them exactly,
+    since each array cell sees the same sequence of operations with the
+    same operands), and the {e memory-trace source} for the cache
+    simulator.
+
+    Uninterpreted function calls (the paper's [f()]) evaluate to a
+    deterministic hash of the call name and argument values, so
+    equivalence checking remains exact in their presence. *)
+
+module Ast = Inl_ir.Ast
+
+type cell = string * int list
+
+type access = { array : string; index : int list; kind : [ `Read | `Write ] }
+
+type store = (cell, float) Hashtbl.t
+
+val default_init : string -> int list -> float
+(** Deterministic pseudo-random initial array contents. *)
+
+val run :
+  ?init:(string -> int list -> float) ->
+  ?trace:(access -> unit) ->
+  Ast.program ->
+  params:(string * int) list ->
+  store
+(** Executes the program.  Reads of never-written cells come from [init]
+    (and are recorded in the store so both sides of an equivalence check
+    observe them identically).
+    @raise Invalid_argument on unbound variables or non-exact [Let]
+    divisions. *)
+
+val stores_equal : store -> store -> bool
+
+val equivalent :
+  Ast.program -> Ast.program -> params:(string * int) list -> (unit, string) result
+(** Runs both programs from the same initial contents and compares the
+    final stores cell by cell; [Error] carries a diagnostic naming the
+    first differing cell. *)
+
+val operation_count : Ast.program -> params:(string * int) list -> int
+(** Number of statement instances executed. *)

@@ -1,0 +1,1 @@
+lib/ir/ast.ml: Format Hashtbl Inl_num Inl_presburger List Printf String

@@ -1,0 +1,1 @@
+lib/ir/meval.ml: Array Ast Inl_num Inl_presburger List Printf

@@ -1,0 +1,1 @@
+lib/ir/meval.mli: Ast Inl_num

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Ast Char Float Format Inl_num Inl_presburger List Printf String

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Ast Float Format Inl_num Inl_presburger

@@ -1,0 +1,87 @@
+(* Concrete evaluation of the affine machinery of the IR: bound terms,
+   max/min bounds, guards, loop ranges.  Shared by the dynamic-instance
+   enumerator (the execution-order oracle for Theorem 1) and by the
+   interpreter. *)
+
+module Mpz = Inl_num.Mpz
+module Linexpr = Inl_presburger.Linexpr
+open Ast
+
+type env = string -> int
+
+let eval_affine (env : env) (e : affine) : int =
+  Mpz.to_int (Linexpr.eval e (fun v -> Mpz.of_int (env v)))
+
+let eval_bterm_up env { num; den } =
+  let v = eval_affine env num in
+  let d = Mpz.to_int den in
+  if d = 1 then v else Mpz.to_int (Mpz.cdiv (Mpz.of_int v) den)
+
+let eval_bterm_down env { num; den } =
+  let v = eval_affine env num in
+  let d = Mpz.to_int den in
+  if d = 1 then v else Mpz.to_int (Mpz.fdiv (Mpz.of_int v) den)
+
+(* A lower bound's terms round up (ceil), an upper bound's round down
+   (floor); the combiner is whatever the bound records (max for natural
+   lower bounds, min for covering union bounds, and dually for uppers). *)
+let eval_bound ~(role : [ `Lower | `Upper ]) env ({ combine; terms } : bound) =
+  let per_term = match role with `Lower -> eval_bterm_up | `Upper -> eval_bterm_down in
+  match terms with
+  | [] -> invalid_arg "Meval.eval_bound: empty bound"
+  | t :: rest ->
+      let comb = match combine with `Max -> max | `Min -> min in
+      List.fold_left (fun acc t -> comb acc (per_term env t)) (per_term env t) rest
+
+let eval_lower env b = eval_bound ~role:`Lower env b
+let eval_upper env b = eval_bound ~role:`Upper env b
+
+let eval_guard env = function
+  | Gcmp (`Ge, e) -> eval_affine env e >= 0
+  | Gcmp (`Eq, e) -> eval_affine env e = 0
+  | Gdiv (d, e) -> Mpz.is_zero (Mpz.fmod (Mpz.of_int (eval_affine env e)) d)
+
+let eval_guards env gs = List.for_all (eval_guard env) gs
+
+(* Iterate [f] over the loop's range under [env]. *)
+let iter_loop (env : env) (l : loop) (f : int -> unit) : unit =
+  let lo = eval_lower env l.lower and hi = eval_upper env l.upper in
+  let step = Mpz.to_int l.step in
+  let i = ref lo in
+  while !i <= hi do
+    f !i;
+    i := !i + step
+  done
+
+(* All dynamic instances in execution order, as (label, loop values
+   outer-in).  The oracle for program order (Definition 2). *)
+let enumerate (prog : program) ~(params : (string * int) list) : (string * int array) list =
+  let out = ref [] in
+  (* [bindings] holds loop and let-bound variables alike (innermost first);
+     [iters] holds only the loop values, which is what an instance is. *)
+  let rec go (bindings : (string * int) list) (iters : int list) nodes =
+    let env v =
+      match List.assoc_opt v bindings with
+      | Some x -> x
+      | None -> (
+          match List.assoc_opt v params with
+          | Some x -> x
+          | None -> invalid_arg (Printf.sprintf "Meval.enumerate: unbound %s" v))
+    in
+    List.iter
+      (function
+        | Stmt s -> out := (s.label, Array.of_list (List.rev iters)) :: !out
+        | If (gs, body) -> if eval_guards env gs then go bindings iters body
+        | Let (v, { num; den }, body) ->
+            let value = eval_affine env num in
+            let q = Mpz.fdiv (Mpz.of_int value) den in
+            if not (Mpz.is_zero (Mpz.fmod (Mpz.of_int value) den)) then
+              invalid_arg
+                (Printf.sprintf "Meval.enumerate: let %s: %d not divisible by %s" v value
+                   (Mpz.to_string den));
+            go ((v, Mpz.to_int q) :: bindings) iters body
+        | Loop l -> iter_loop env l (fun i -> go ((l.var, i) :: bindings) (i :: iters) l.body))
+      nodes
+  in
+  go [] [] prog.nest;
+  List.rev !out

@@ -1,0 +1,26 @@
+(** Concrete evaluation of the affine machinery of the IR — bound terms,
+    max/min bounds, guards, strided loop ranges — shared by the
+    dynamic-instance enumerator (the execution-order oracle of
+    Theorem 1's tests) and the interpreter. *)
+
+module Mpz = Inl_num.Mpz
+
+type env = string -> int
+
+val eval_affine : env -> Ast.affine -> int
+val eval_bterm_up : env -> Ast.bterm -> int
+(** Ceiling of [num/den] — the rounding of a lower-bound term. *)
+
+val eval_bterm_down : env -> Ast.bterm -> int
+val eval_bound : role:[ `Lower | `Upper ] -> env -> Ast.bound -> int
+val eval_lower : env -> Ast.bound -> int
+val eval_upper : env -> Ast.bound -> int
+val eval_guard : env -> Ast.guard -> bool
+val eval_guards : env -> Ast.guard list -> bool
+val iter_loop : env -> Ast.loop -> (int -> unit) -> unit
+
+val enumerate : Ast.program -> params:(string * int) list -> (string * int array) list
+(** All dynamic instances in execution order, as (label, loop values
+    outer-in).
+    @raise Invalid_argument on unbound variables or inexact [Let]
+    divisions. *)

@@ -1,0 +1,472 @@
+module Mpz = Inl_num.Mpz
+module Linexpr = Inl_presburger.Linexpr
+open Ast
+
+(* ---- lexer ---- *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | DO
+  | ENDDO
+  | PARAMS
+  | EQUAL
+  | DOTDOT
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Parse_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_ident c = is_ident_start c || (c >= '0' && c <= '9') in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '!' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      (* a '.' begins a float only if not the ".." range operator *)
+      if !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        push (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match String.lowercase_ascii word with
+      | "do" -> push DO
+      | "enddo" -> push ENDDO
+      | "end" ->
+          (* consume optional following "do" *)
+          let j = ref !i in
+          while !j < n && (src.[!j] = ' ' || src.[!j] = '\t') do
+            incr j
+          done;
+          if !j + 1 < n
+             && Char.lowercase_ascii src.[!j] = 'd'
+             && Char.lowercase_ascii src.[!j + 1] = 'o'
+             && (!j + 2 >= n || not (is_ident src.[!j + 2]))
+          then begin
+            i := !j + 2;
+            push ENDDO
+          end
+          else push ENDDO
+      | "params" | "param" -> push PARAMS
+      | _ -> push (IDENT word)
+    end
+    else begin
+      (match c with
+      | '=' -> push EQUAL
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | '[' -> push LBRACK
+      | ']' -> push RBRACK
+      | ',' -> push COMMA
+      | ':' -> push COLON
+      | '+' -> push PLUS
+      | '-' -> push MINUS
+      | '*' -> push STAR
+      | '/' -> push SLASH
+      | '.' ->
+          if !i + 1 < n && src.[!i + 1] = '.' then begin
+            incr i;
+            push DOTDOT
+          end
+          else error "line %d: stray '.'" !line
+      | c -> error "line %d: unexpected character %C" !line c);
+      incr i
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+(* ---- parser state ---- *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> EOF
+let cur_line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let token_str = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | DO -> "do"
+  | ENDDO -> "enddo"
+  | PARAMS -> "params"
+  | EQUAL -> "="
+  | DOTDOT -> ".."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | COMMA -> ","
+  | COLON -> ":"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EOF -> "<eof>"
+
+let expect st t =
+  if peek st = t then advance st
+  else error "line %d: expected %s but found %s" (cur_line st) (token_str t) (token_str (peek st))
+
+let expect_ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> error "line %d: expected identifier, found %s" (cur_line st) (token_str t)
+
+(* ---- expression parsing (generic trees; affine forms extracted later) ---- *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | PLUS ->
+        advance st;
+        lhs := Ebin (Add, !lhs, parse_multiplicative st)
+    | MINUS ->
+        advance st;
+        lhs := Ebin (Sub, !lhs, parse_multiplicative st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | STAR ->
+        advance st;
+        lhs := Ebin (Mul, !lhs, parse_unary st)
+    | SLASH ->
+        advance st;
+        lhs := Ebin (Div, !lhs, parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+      advance st;
+      Ebin (Sub, Econst 0., parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | INT n ->
+      advance st;
+      Econst (float_of_int n)
+  | FLOAT f ->
+      advance st;
+      Econst f
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | LPAREN ->
+          advance st;
+          let args = ref [] in
+          if peek st <> RPAREN then begin
+            args := [ parse_expr st ];
+            while peek st = COMMA do
+              advance st;
+              args := parse_expr st :: !args
+            done
+          end;
+          expect st RPAREN;
+          Ecall (name, List.rev !args)
+      | LBRACK ->
+          let idx = ref [] in
+          while peek st = LBRACK do
+            advance st;
+            idx := parse_expr st :: !idx;
+            expect st RBRACK
+          done;
+          (* bracket syntax always denotes an array *)
+          Ecall ("$bracket_" ^ name, List.rev !idx)
+      | _ -> Evar name)
+  | t -> error "line %d: unexpected %s in expression" (cur_line st) (token_str t)
+
+(* ---- affine extraction ---- *)
+
+let rec linearize (e : expr) : affine option =
+  match e with
+  | Econst f ->
+      if Float.is_integer f then Some (Linexpr.of_int (int_of_float f)) else None
+  | Evar v -> Some (Linexpr.var v)
+  | Ebin (Add, a, b) -> (
+      match (linearize a, linearize b) with
+      | Some x, Some y -> Some (Linexpr.add x y)
+      | _ -> None)
+  | Ebin (Sub, a, b) -> (
+      match (linearize a, linearize b) with
+      | Some x, Some y -> Some (Linexpr.sub x y)
+      | _ -> None)
+  | Ebin (Mul, a, b) -> (
+      match (linearize a, linearize b) with
+      | Some x, Some y ->
+          if Linexpr.is_constant x then Some (Linexpr.scale (Linexpr.constant x) y)
+          else if Linexpr.is_constant y then Some (Linexpr.scale (Linexpr.constant y) x)
+          else None
+      | _ -> None)
+  | Ebin (Div, _, _) | Ecall _ | Eref _ -> None
+
+let linearize_exn st what e =
+  match linearize e with
+  | Some a -> a
+  | None -> error "line %d: %s must be an affine expression" (cur_line st) what
+
+(* A bound expression: either a plain affine expression, or min(...)/max(...)
+   at top level. *)
+let parse_bound st ~(kind : [ `Lower | `Upper ]) : bound =
+  let keyword = match kind with `Lower -> "max" | `Upper -> "min" in
+  match (peek st, peek2 st) with
+  | IDENT name, LPAREN when String.lowercase_ascii name = keyword ->
+      advance st;
+      advance st;
+      let terms = ref [ linearize_exn st "loop bound" (parse_expr st) ] in
+      while peek st = COMMA do
+        advance st;
+        terms := linearize_exn st "loop bound" (parse_expr st) :: !terms
+      done;
+      expect st RPAREN;
+      {
+        combine = (match kind with `Lower -> `Max | `Upper -> `Min);
+        terms = List.rev_map bterm !terms;
+      }
+  | IDENT name, LPAREN
+    when String.lowercase_ascii name = (match kind with `Lower -> "min" | `Upper -> "max") ->
+      error "line %d: %s(...) is not a valid %s bound" (cur_line st) name
+        (match kind with `Lower -> "lower" | `Upper -> "upper")
+  | _ ->
+      {
+        combine = (match kind with `Lower -> `Max | `Upper -> `Min);
+        terms = [ bterm (linearize_exn st "loop bound" (parse_expr st)) ];
+      }
+
+(* ---- items ---- *)
+
+let fresh_label =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "S%d" !counter
+
+let rec parse_items st : node list =
+  match peek st with
+  | EOF | ENDDO -> []
+  | _ ->
+      let item = parse_item st in
+      item :: parse_items st
+
+and parse_item st : node =
+  match peek st with
+  | DO ->
+      advance st;
+      let var = expect_ident st in
+      expect st EQUAL;
+      let lower = parse_bound st ~kind:`Lower in
+      expect st DOTDOT;
+      let upper = parse_bound st ~kind:`Upper in
+      let body = parse_items st in
+      expect st ENDDO;
+      Loop { var; lower; upper; step = Mpz.one; body }
+  | IDENT _ -> parse_stmt st
+  | t -> error "line %d: expected 'do' or a statement, found %s" (cur_line st) (token_str t)
+
+and parse_stmt st : node =
+  (* optional label:  IDENT ':' *)
+  let label =
+    match (peek st, peek2 st) with
+    | IDENT l, COLON ->
+        advance st;
+        advance st;
+        Some l
+    | _ -> None
+  in
+  let array = expect_ident st in
+  let index =
+    match peek st with
+    | LPAREN ->
+        advance st;
+        let idx = ref [ linearize_exn st "subscript" (parse_expr st) ] in
+        while peek st = COMMA do
+          advance st;
+          idx := linearize_exn st "subscript" (parse_expr st) :: !idx
+        done;
+        expect st RPAREN;
+        List.rev !idx
+    | LBRACK ->
+        let idx = ref [] in
+        while peek st = LBRACK do
+          advance st;
+          idx := linearize_exn st "subscript" (parse_expr st) :: !idx;
+          expect st RBRACK
+        done;
+        List.rev !idx
+    | t -> error "line %d: statement target %s lacks subscripts (found %s)" (cur_line st) array (token_str t)
+  in
+  expect st EQUAL;
+  let rhs = parse_expr st in
+  let label = match label with Some l -> l | None -> fresh_label () in
+  Stmt { label; lhs = { array; index }; rhs }
+
+(* ---- post-processing: resolve RHS array references ---- *)
+
+let rec resolve_expr (arrays : string list) (e : expr) : expr =
+  match e with
+  | Ecall (name, args) when String.length name > 9 && String.sub name 0 9 = "$bracket_" ->
+      let real = String.sub name 9 (String.length name - 9) in
+      let idx =
+        List.map
+          (fun a ->
+            match linearize a with
+            | Some l -> l
+            | None -> raise (Parse_error (Printf.sprintf "non-affine subscript of %s" real)))
+          args
+      in
+      Eref { array = real; index = idx }
+  | Ecall (name, args) -> (
+      let resolved_args = List.map (resolve_expr arrays) args in
+      if List.mem name arrays then
+        match
+          List.fold_right
+            (fun a acc ->
+              match (acc, linearize a) with Some l, Some x -> Some (x :: l) | _ -> None)
+            args (Some [])
+        with
+        | Some idx -> Eref { array = name; index = idx }
+        | None -> Ecall (name, resolved_args)
+      else Ecall (name, resolved_args))
+  | Ebin (op, a, b) -> Ebin (op, resolve_expr arrays a, resolve_expr arrays b)
+  | Econst _ | Evar _ | Eref _ -> e
+
+let rec resolve_node arrays = function
+  | Stmt s -> Stmt { s with rhs = resolve_expr arrays s.rhs }
+  | Loop l -> Loop { l with body = List.map (resolve_node arrays) l.body }
+  | If (g, body) -> If (g, List.map (resolve_node arrays) body)
+  | Let (v, d, body) -> Let (v, d, List.map (resolve_node arrays) body)
+
+let rec written_arrays acc = function
+  | Stmt s -> s.lhs.array :: acc
+  | Loop l -> List.fold_left written_arrays acc l.body
+  | If (_, body) | Let (_, _, body) -> List.fold_left written_arrays acc body
+
+(* Free variables of the (resolved) program that are not loop variables. *)
+let infer_params (prog : program) : string list =
+  let bound = loop_vars prog in
+  let free = ref [] in
+  let see scope v = if not (List.mem v scope || List.mem v bound) then free := v :: !free in
+  let rec expr_vars scope = function
+    | Eref r -> List.iter (fun a -> List.iter (see scope) (Linexpr.vars a)) r.index
+    | Econst _ -> ()
+    | Evar v -> see scope v
+    | Ebin (_, a, b) ->
+        expr_vars scope a;
+        expr_vars scope b
+    | Ecall (_, args) -> List.iter (expr_vars scope) args
+  in
+  let rec go scope = function
+    | Stmt s ->
+        List.iter (fun a -> List.iter (see scope) (Linexpr.vars a)) s.lhs.index;
+        expr_vars scope s.rhs
+    | If (gs, body) ->
+        List.iter
+          (function Gcmp (_, e) | Gdiv (_, e) -> List.iter (see scope) (Linexpr.vars e))
+          gs;
+        List.iter (go scope) body
+    | Let (v, { num; _ }, body) ->
+        List.iter (see scope) (Linexpr.vars num);
+        List.iter (go (v :: scope)) body
+    | Loop l ->
+        List.iter
+          (fun ({ num; _ } : bterm) -> List.iter (see scope) (Linexpr.vars num))
+          (l.lower.terms @ l.upper.terms);
+        List.iter (go (l.var :: scope)) l.body
+  in
+  List.iter (go []) prog.nest;
+  List.sort_uniq String.compare !free
+
+let parse_exn (src : string) : program =
+  try
+    let st = { toks = tokenize src } in
+    let params = ref [] in
+    while peek st = PARAMS do
+      advance st;
+      let continue_ = ref true in
+      while !continue_ do
+        match peek st with
+        | IDENT p when peek2 st <> EQUAL && peek2 st <> COLON && peek2 st <> LPAREN && peek2 st <> LBRACK ->
+            advance st;
+            params := p :: !params
+        | COMMA ->
+            advance st
+        | _ -> continue_ := false
+      done
+    done;
+    let nest = parse_items st in
+    expect st EOF;
+    let arrays = List.fold_left written_arrays [] nest |> List.sort_uniq String.compare in
+    let nest = List.map (resolve_node arrays) nest in
+    let prog = { params = List.rev !params; nest } in
+    let prog = { prog with params = List.sort_uniq String.compare (prog.params @ infer_params prog) } in
+    validate prog;
+    prog
+  with
+  | Parse_error msg -> failwith ("parse error: " ^ msg)
+  | Invalid msg -> failwith ("invalid program: " ^ msg)
+
+let parse src = try Ok (parse_exn src) with Failure msg -> Error msg

@@ -1,0 +1,32 @@
+(** Parser for the paper's pseudo-code surface syntax.
+
+    {[
+      params N
+      do I = 1..N
+        S1: A(I) = sqrt(A(I))
+        do J = I+1..N
+          S2: A(J) = A(J) / A(I)
+        enddo
+      enddo
+    ]}
+
+    Notes on the dialect:
+    - [enddo] and [end do] both close a loop;
+    - statement labels ([S1:]) are optional and generated when missing;
+    - array references may use [A(i,j)] or [A[i][j]] syntax; in right-hand
+      sides, [name(args)] is an array reference when [name] is written
+      anywhere in the program (or indexed with brackets), and an
+      uninterpreted function call otherwise;
+    - a lower bound may be [max(e1, e2, ...)], an upper bound [min(...)];
+    - identifiers free in bounds or subscripts are symbolic parameters,
+      declared explicitly with [params] or inferred;
+    - [!] starts a comment running to end of line. *)
+
+val parse : string -> (Ast.program, string) result
+(** Parses and validates a program. *)
+
+val parse_exn : string -> Ast.program
+(** @raise Failure with a diagnostic on malformed input. *)
+
+val linearize : Ast.expr -> Ast.affine option
+(** Interprets an expression tree as an affine form, when possible. *)

@@ -1,0 +1,14 @@
+(** Pretty-printing of loop-nest programs in the paper's pseudo-code
+    notation; {!Inl_ir.Parser} accepts everything printed for source
+    programs (generated programs may additionally contain [if]/[let]
+    constructs and strided loops). *)
+
+val pp_affine : Format.formatter -> Ast.affine -> unit
+val pp_aref : Format.formatter -> Ast.aref -> unit
+val pp_expr : ?ctx:int -> Format.formatter -> Ast.expr -> unit
+val pp_guard : Format.formatter -> Ast.guard -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_node : Format.formatter -> Ast.node -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val node_to_string : Ast.node -> string

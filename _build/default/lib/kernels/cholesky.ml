@@ -1,0 +1,151 @@
+(* Six loop orders of in-place lower-triangular Cholesky.
+
+   The arithmetic is identical across variants — only the traversal order
+   changes — so all produce bit-identical factors on the same input
+   (dependences force the per-entry operation order), which the test
+   suite checks exactly. *)
+
+let n_of a = Array.length a
+
+(* right-looking, row-oriented updates *)
+let kij a =
+  let n = n_of a in
+  for k = 0 to n - 1 do
+    a.(k).(k) <- sqrt a.(k).(k);
+    for i = k + 1 to n - 1 do
+      a.(i).(k) <- a.(i).(k) /. a.(k).(k)
+    done;
+    for i = k + 1 to n - 1 do
+      for j = k + 1 to i do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(j).(k))
+      done
+    done
+  done
+
+(* right-looking, column-oriented updates (the paper's source form) *)
+let kji a =
+  let n = n_of a in
+  for k = 0 to n - 1 do
+    a.(k).(k) <- sqrt a.(k).(k);
+    for i = k + 1 to n - 1 do
+      a.(i).(k) <- a.(i).(k) /. a.(k).(k)
+    done;
+    for j = k + 1 to n - 1 do
+      for i = j to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(j).(k))
+      done
+    done
+  done
+
+(* left-looking by columns *)
+let jki a =
+  let n = n_of a in
+  for j = 0 to n - 1 do
+    for k = 0 to j - 1 do
+      for i = j to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(j).(k))
+      done
+    done;
+    a.(j).(j) <- sqrt a.(j).(j);
+    for i = j + 1 to n - 1 do
+      a.(i).(j) <- a.(i).(j) /. a.(j).(j)
+    done
+  done
+
+(* left-looking, dot-product inner loop *)
+let jik a =
+  let n = n_of a in
+  for j = 0 to n - 1 do
+    for i = j to n - 1 do
+      for k = 0 to j - 1 do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(j).(k))
+      done
+    done;
+    a.(j).(j) <- sqrt a.(j).(j);
+    for i = j + 1 to n - 1 do
+      a.(i).(j) <- a.(i).(j) /. a.(j).(j)
+    done
+  done
+
+(* bordering: finish one row at a time *)
+let ikj a =
+  let n = n_of a in
+  for i = 0 to n - 1 do
+    for k = 0 to i - 1 do
+      a.(i).(k) <- a.(i).(k) /. a.(k).(k);
+      for j = k + 1 to i do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(j).(k))
+      done
+    done;
+    a.(i).(i) <- sqrt a.(i).(i)
+  done
+
+(* bordering, dot-product inner loop *)
+let ijk a =
+  let n = n_of a in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      for k = 0 to j - 1 do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(j).(k))
+      done;
+      if j < i then a.(i).(j) <- a.(i).(j) /. a.(j).(j)
+    done;
+    a.(i).(i) <- sqrt a.(i).(i)
+  done
+
+type variant = { name : string; family : string; run : float array array -> unit }
+
+let variants =
+  [
+    { name = "kij"; family = "right-looking (row updates)"; run = kij };
+    { name = "kji"; family = "right-looking (column updates)"; run = kji };
+    { name = "jki"; family = "left-looking (column)"; run = jki };
+    { name = "jik"; family = "left-looking (dot product)"; run = jik };
+    { name = "ikj"; family = "bordering (row)"; run = ikj };
+    { name = "ijk"; family = "bordering (dot product)"; run = ijk };
+  ]
+
+let random_spd ?(seed = 7) n =
+  let state = ref seed in
+  let next () =
+    state := (!state * 1103515245) + 12345;
+    float_of_int (!state land 0xFFFF) /. 65536.0
+  in
+  let b = Array.init n (fun _ -> Array.init n (fun _ -> next () -. 0.5)) in
+  let a = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (b.(i).(k) *. b.(j).(k))
+      done;
+      a.(i).(j) <- !s +. if i = j then float_of_int n else 0.0
+    done
+  done;
+  a
+
+let copy_matrix a = Array.map Array.copy a
+
+let max_abs_diff a b =
+  let n = n_of a in
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      m := Float.max !m (Float.abs (a.(i).(j) -. b.(i).(j)))
+    done
+  done;
+  !m
+
+let residual a l =
+  let n = n_of a in
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref 0.0 in
+      for k = 0 to j do
+        s := !s +. (l.(i).(k) *. l.(j).(k))
+      done;
+      m := Float.max !m (Float.abs (!s -. a.(i).(j)))
+    done
+  done;
+  !m

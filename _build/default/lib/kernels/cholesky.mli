@@ -1,0 +1,39 @@
+(** The six loop orders of dense Cholesky factorization as native float
+    kernels — the benchmark subjects of the paper's motivating claim that
+    "all six permutations of these three loops compute the same result,
+    but their performance, even on sequential machines, can be quite
+    different" (Section 1).
+
+    All variants factor a symmetric positive-definite matrix in place
+    into its lower-triangular Cholesky factor, reading and writing only
+    the lower triangle: [A = L L^T].  Names follow the classical loop
+    taxonomy (Ortega): the letters give the nesting order of the loops
+    driving the update [A(i,j) -= A(i,k) * A(j,k)]. *)
+
+type variant = {
+  name : string;
+  family : string;  (** right-looking / left-looking / bordering / dot-product *)
+  run : float array array -> unit;
+}
+
+val kij : float array array -> unit
+val kji : float array array -> unit
+val jki : float array array -> unit
+val jik : float array array -> unit
+val ikj : float array array -> unit
+val ijk : float array array -> unit
+
+val variants : variant list
+(** All six, in taxonomy order. *)
+
+val random_spd : ?seed:int -> int -> float array array
+(** A deterministic random symmetric positive-definite matrix. *)
+
+val copy_matrix : float array array -> float array array
+
+val max_abs_diff : float array array -> float array array -> float
+(** Over the lower triangles. *)
+
+val residual : float array array -> float array array -> float
+(** [residual a l]: max abs element of [l l^T - a] over the lower
+    triangle — a correctness measure for a computed factor. *)

@@ -1,0 +1,49 @@
+(* LU factorization without pivoting, in two loop orders — a second
+   imperfectly nested factorization used by the examples and benches. *)
+
+let n_of a = Array.length a
+
+(* right-looking (the classical kij form) *)
+let kij a =
+  let n = n_of a in
+  for k = 0 to n - 1 do
+    for i = k + 1 to n - 1 do
+      a.(i).(k) <- a.(i).(k) /. a.(k).(k);
+      for j = k + 1 to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(k).(j))
+      done
+    done
+  done
+
+(* left-looking by columns *)
+let jki a =
+  let n = n_of a in
+  for j = 0 to n - 1 do
+    for k = 0 to j - 1 do
+      for i = k + 1 to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(k).(j))
+      done
+    done;
+    for i = j + 1 to n - 1 do
+      a.(i).(j) <- a.(i).(j) /. a.(j).(j)
+    done
+  done
+
+let diagonally_dominant ?(seed = 11) n =
+  let state = ref seed in
+  let next () =
+    state := (!state * 1103515245) + 12345;
+    float_of_int (!state land 0xFFFF) /. 65536.0
+  in
+  Array.init n (fun i ->
+      Array.init n (fun j -> (next () -. 0.5) +. if i = j then float_of_int n else 0.0))
+
+let max_abs_diff a b =
+  let n = n_of a in
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      m := Float.max !m (Float.abs (a.(i).(j) -. b.(i).(j)))
+    done
+  done;
+  !m

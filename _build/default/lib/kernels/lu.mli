@@ -1,0 +1,16 @@
+(** LU factorization without pivoting, in two loop orders — a second
+    imperfectly nested factorization used by the examples, tests and
+    benches.  Both orders perform the identical per-cell operation
+    sequence and therefore produce bit-identical factors. *)
+
+val kij : float array array -> unit
+(** Right-looking (the classical outer-product form). *)
+
+val jki : float array array -> unit
+(** Left-looking by columns. *)
+
+val diagonally_dominant : ?seed:int -> int -> float array array
+(** A deterministic random diagonally dominant matrix (LU without
+    pivoting is stable on it). *)
+
+val max_abs_diff : float array array -> float array array -> float

@@ -1,0 +1,199 @@
+(* The paper's example programs in the surface language, shared by tests,
+   examples and benches. *)
+
+(* Figure 1's running example (with affine stand-ins for f(I)..g(I)). *)
+let figure1 =
+  "params N\n\
+   do I = 1..N\n\
+  \  do J = I..N\n\
+  \    S1: A(I,J) = 1\n\
+  \    S2: B(I,J) = 2\n\
+  \  enddo\n\
+  \  S3: C(I) = 3\n\
+   enddo\n"
+
+(* Section 3's simplified Cholesky. *)
+let simplified_cholesky =
+  "params N\n\
+   do I = 1..N\n\
+  \  S1: A(I) = sqrt(A(I))\n\
+  \  do J = I+1..N\n\
+  \    S2: A(J) = A(J) / A(I)\n\
+  \  enddo\n\
+   enddo\n"
+
+(* Section 5.4's augmentation example. *)
+let augmentation_example =
+  "params N\n\
+   do I = 1..N\n\
+  \  S1: B(I) = B(I-1) + A(I-1,I+1)\n\
+  \  do J = I..N\n\
+  \    S2: A(I,J) = f()\n\
+  \  enddo\n\
+   enddo\n"
+
+(* Section 6's full Cholesky factorization (right-looking). *)
+let cholesky =
+  "params N\n\
+   do K = 1..N\n\
+  \  S1: A[K][K] = sqrt(A[K][K])\n\
+  \  do I = K+1..N\n\
+  \    S2: A[I][K] = A[I][K] / A[K][K]\n\
+  \  enddo\n\
+  \  do J = K+1..N\n\
+  \    do L = K+1..J\n\
+  \      S3: A[J][L] = A[J][L] - A[J][K] * A[L][K]\n\
+  \    enddo\n\
+  \  enddo\n\
+   enddo\n"
+
+(* The update statement's perfect nest, alone. *)
+let cholesky_update_kernel =
+  "params N\n\
+   do K = 1..N\n\
+  \  do J = K+1..N\n\
+  \    do L = K+1..J\n\
+  \      S3: A(J,L) = A(J,L) - A(J,K) * A(L,K)\n\
+  \    enddo\n\
+  \  enddo\n\
+   enddo\n"
+
+(* LU factorization without pivoting, right-looking. *)
+let lu =
+  "params N\n\
+   do K = 1..N\n\
+  \  do I = K+1..N\n\
+  \    S1: A(I,K) = A(I,K) / A(K,K)\n\
+  \    do J = K+1..N\n\
+  \      S2: A(I,J) = A(I,J) - A(I,K) * A(K,J)\n\
+  \    enddo\n\
+  \  enddo\n\
+   enddo\n"
+
+(* The corrected Section 6 completion matrix (left-looking Cholesky);
+   see EXPERIMENTS.md E12 for why the paper's printed first row is
+   inconsistent with its own final code. *)
+let corrected_c_rows =
+  [
+    [ 0; 0; 0; 0; 0; 1; 0 ];
+    [ 0; 0; 1; 0; 0; 0; 0 ];
+    [ 0; 0; 0; 1; 0; 0; 0 ];
+    [ 0; 1; 0; 0; 0; 0; 0 ];
+    [ 0; 0; 0; 0; 0; 0; 1 ];
+    [ 0; 0; 0; 0; 1; 0; 0 ];
+    [ 1; 0; 0; 0; 0; 0; 0 ];
+  ]
+
+let paper_c_printed_rows =
+  [
+    [ 0; 0; 0; 0; 1; 0; 0 ];
+    [ 0; 0; 1; 0; 0; 0; 0 ];
+    [ 0; 0; 0; 1; 0; 0; 0 ];
+    [ 0; 1; 0; 0; 0; 0; 0 ];
+    [ 1; 0; 0; 0; 0; 0; 0 ];
+    [ 0; 0; 0; 0; 0; 1; 0 ];
+    [ 0; 0; 0; 0; 0; 0; 1 ];
+  ]
+
+(* The Section 5.4/5.5 transformation matrix (skew the outer loop by the
+   inner, swap the statement order). *)
+let section55_matrix_rows =
+  [ [ 1; 0; 0; -1 ]; [ 0; 0; 1; 0 ]; [ 0; 1; 0; 0 ]; [ 0; 0; 0; 1 ] ]
+
+(* The six classical loop orders of Cholesky as surface programs: every
+   variant performs the identical per-cell operation sequence, so the
+   interpreter checks them exactly equal to the right-looking form, and
+   their memory traces drive the cache-locality experiment (E13). *)
+
+let cholesky_kij =
+  "params N\n\
+   do K = 1..N\n\
+  \  S1: A(K,K) = sqrt(A(K,K))\n\
+  \  do I = K+1..N\n\
+  \    S2: A(I,K) = A(I,K) / A(K,K)\n\
+  \  enddo\n\
+  \  do I2 = K+1..N\n\
+  \    do J = K+1..I2\n\
+  \      S3: A(I2,J) = A(I2,J) - A(I2,K) * A(J,K)\n\
+  \    enddo\n\
+  \  enddo\n\
+   enddo\n"
+
+let cholesky_kji =
+  "params N\n\
+   do K = 1..N\n\
+  \  S1: A(K,K) = sqrt(A(K,K))\n\
+  \  do I = K+1..N\n\
+  \    S2: A(I,K) = A(I,K) / A(K,K)\n\
+  \  enddo\n\
+  \  do J = K+1..N\n\
+  \    do I2 = J..N\n\
+  \      S3: A(I2,J) = A(I2,J) - A(I2,K) * A(J,K)\n\
+  \    enddo\n\
+  \  enddo\n\
+   enddo\n"
+
+let cholesky_jki =
+  "params N\n\
+   do J = 1..N\n\
+  \  do K = 1..J-1\n\
+  \    do I = J..N\n\
+  \      S3: A(I,J) = A(I,J) - A(I,K) * A(J,K)\n\
+  \    enddo\n\
+  \  enddo\n\
+  \  S1: A(J,J) = sqrt(A(J,J))\n\
+  \  do I2 = J+1..N\n\
+  \    S2: A(I2,J) = A(I2,J) / A(J,J)\n\
+  \  enddo\n\
+   enddo\n"
+
+let cholesky_jik =
+  "params N\n\
+   do J = 1..N\n\
+  \  do I = J..N\n\
+  \    do K = 1..J-1\n\
+  \      S3: A(I,J) = A(I,J) - A(I,K) * A(J,K)\n\
+  \    enddo\n\
+  \  enddo\n\
+  \  S1: A(J,J) = sqrt(A(J,J))\n\
+  \  do I2 = J+1..N\n\
+  \    S2: A(I2,J) = A(I2,J) / A(J,J)\n\
+  \  enddo\n\
+   enddo\n"
+
+let cholesky_ikj =
+  "params N\n\
+   do I = 1..N\n\
+  \  do K = 1..I-1\n\
+  \    S2: A(I,K) = A(I,K) / A(K,K)\n\
+  \    do J = K+1..I\n\
+  \      S3: A(I,J) = A(I,J) - A(I,K) * A(J,K)\n\
+  \    enddo\n\
+  \  enddo\n\
+  \  S1: A(I,I) = sqrt(A(I,I))\n\
+   enddo\n"
+
+let cholesky_ijk =
+  "params N\n\
+   do I = 1..N\n\
+  \  do J = 1..I-1\n\
+  \    do K = 1..J-1\n\
+  \      S3: A(I,J) = A(I,J) - A(I,K) * A(J,K)\n\
+  \    enddo\n\
+  \    S2: A(I,J) = A(I,J) / A(J,J)\n\
+  \  enddo\n\
+  \  do K2 = 1..I-1\n\
+  \    S4: A(I,I) = A(I,I) - A(I,K2) * A(I,K2)\n\
+  \  enddo\n\
+  \  S1: A(I,I) = sqrt(A(I,I))\n\
+   enddo\n"
+
+let cholesky_ir_variants =
+  [
+    ("kij", cholesky_kij);
+    ("kji", cholesky_kji);
+    ("jki", cholesky_jki);
+    ("jik", cholesky_jik);
+    ("ikj", cholesky_ikj);
+    ("ijk", cholesky_ijk);
+  ]

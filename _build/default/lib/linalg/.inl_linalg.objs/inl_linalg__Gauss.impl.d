@@ -1,0 +1,1 @@
+lib/linalg/gauss.ml: Array Fun Inl_num List Mat Vec

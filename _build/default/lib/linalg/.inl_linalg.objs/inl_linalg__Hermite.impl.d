@@ -1,0 +1,1 @@
+lib/linalg/hermite.ml: Array Gauss Inl_num List Mat Vec

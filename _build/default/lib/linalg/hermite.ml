@@ -1,0 +1,87 @@
+module Mpz = Inl_num.Mpz
+
+(* Elementary column operations, applied simultaneously to the working
+   matrix and to the unimodular accumulator. *)
+
+let swap_cols m j k =
+  Array.iter
+    (fun r ->
+      let t = r.(j) in
+      r.(j) <- r.(k);
+      r.(k) <- t)
+    m
+
+let negate_col m j = Array.iter (fun r -> r.(j) <- Mpz.neg r.(j)) m
+
+(* col_j <- col_j + f * col_k *)
+let addmul_col m j f k =
+  Array.iter (fun r -> r.(j) <- Mpz.add r.(j) (Mpz.mul f r.(k))) m
+
+let decompose (a : Mat.t) =
+  let n = Mat.rows a in
+  if Mat.cols a <> n || not (Gauss.is_nonsingular a) then
+    invalid_arg "Hermite.decompose: need a square non-singular matrix";
+  let h = Mat.copy a in
+  let u = Mat.identity n in
+  for i = 0 to n - 1 do
+    (* Make h.(i).(j) = 0 for all j > i by gcd-style column reduction. *)
+    let continue_ = ref true in
+    while !continue_ do
+      (* find column with smallest non-zero |h_i j| among j >= i *)
+      let best = ref (-1) in
+      for j = i to n - 1 do
+        if not (Mpz.is_zero h.(i).(j)) then
+          if !best < 0 || Mpz.compare (Mpz.abs h.(i).(j)) (Mpz.abs h.(i).(!best)) < 0 then best := j
+      done;
+      assert (!best >= 0);
+      if !best <> i then begin
+        swap_cols h i !best;
+        swap_cols u i !best
+      end;
+      let others = ref false in
+      for j = i + 1 to n - 1 do
+        if not (Mpz.is_zero h.(i).(j)) then begin
+          others := true;
+          let q = Mpz.fdiv h.(i).(j) h.(i).(i) in
+          addmul_col h j (Mpz.neg q) i;
+          addmul_col u j (Mpz.neg q) i
+        end
+      done;
+      (* after the reduction pass, remaining non-zeros in j > i are smaller
+         remainders; loop until they vanish *)
+      let done_ = ref true in
+      for j = i + 1 to n - 1 do
+        if not (Mpz.is_zero h.(i).(j)) then done_ := false
+      done;
+      ignore !others;
+      if !done_ then continue_ := false
+    done;
+    if Mpz.is_negative h.(i).(i) then begin
+      negate_col h i;
+      negate_col u i
+    end;
+    (* reduce earlier columns in this row into [0, h_ii) *)
+    for j = 0 to i - 1 do
+      let q = Mpz.fdiv h.(i).(j) h.(i).(i) in
+      if not (Mpz.is_zero q) then begin
+        addmul_col h j (Mpz.neg q) i;
+        addmul_col u j (Mpz.neg q) i
+      end
+    done
+  done;
+  (h, u)
+
+let completion rows n =
+  List.iter (fun r -> if Vec.dim r <> n then invalid_arg "Hermite.completion: bad width") rows;
+  let base = Array.of_list rows in
+  if Gauss.rank base <> Array.length base then
+    invalid_arg "Hermite.completion: rows are dependent";
+  let m = ref base in
+  for i = 0 to n - 1 do
+    if Array.length !m < n then begin
+      let cand = Mat.append_row !m (Vec.unit n i) in
+      if Gauss.rank cand = Array.length cand then m := cand
+    end
+  done;
+  if Array.length !m <> n then invalid_arg "Hermite.completion: could not complete";
+  !m

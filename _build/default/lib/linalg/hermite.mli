@@ -1,0 +1,21 @@
+(** Column-style Hermite normal form.
+
+    For a non-singular integer matrix [A], [decompose A] returns [(h, u)]
+    with [A * u = h], [u] unimodular, and [h] lower triangular with
+    positive diagonal entries and, in each row, off-diagonal entries
+    reduced into [0, h_ii).
+
+    Loop-bound generation (Lemma 3, following Li-Pingali [10]) uses the
+    diagonal of [h] as the step of each generated loop when the
+    non-singular per-statement transformation is not unimodular. *)
+
+val decompose : Mat.t -> Mat.t * Mat.t
+(** @raise Invalid_argument if the matrix is not square and non-singular. *)
+
+val completion : Vec.t list -> int -> Mat.t
+(** [completion rows n] extends the given linearly independent integer
+    rows to a basis of Q^n: returns an [n x n] non-singular matrix whose
+    first rows are [rows], the remainder chosen as unit vectors.  Used by
+    the completion procedures when the unsatisfied-dependence set runs
+    dry (Fig 7, step 15).
+    @raise Invalid_argument if [rows] are dependent or of wrong width. *)

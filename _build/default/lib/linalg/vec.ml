@@ -1,0 +1,63 @@
+module Mpz = Inl_num.Mpz
+
+type t = Mpz.t array
+
+let of_int_array a = Array.map Mpz.of_int a
+let of_int_list l = of_int_array (Array.of_list l)
+let to_int_array v = Array.map Mpz.to_int v
+
+let zero n = Array.make n Mpz.zero
+
+let unit n i =
+  let v = zero n in
+  v.(i) <- Mpz.one;
+  v
+
+let dim = Array.length
+let copy = Array.copy
+let add a b = Array.init (dim a) (fun i -> Mpz.add a.(i) b.(i))
+let sub a b = Array.init (dim a) (fun i -> Mpz.sub a.(i) b.(i))
+let neg a = Array.map Mpz.neg a
+let scale k a = Array.map (Mpz.mul k) a
+let scale_int k a = scale (Mpz.of_int k) a
+
+let dot a b =
+  let acc = ref Mpz.zero in
+  for i = 0 to dim a - 1 do
+    acc := Mpz.add !acc (Mpz.mul a.(i) b.(i))
+  done;
+  !acc
+
+let equal a b = dim a = dim b && Array.for_all2 Mpz.equal a b
+let is_zero a = Array.for_all Mpz.is_zero a
+
+let height v =
+  let rec go i = if i >= dim v then None else if Mpz.is_zero v.(i) then go (i + 1) else Some i in
+  go 0
+
+let lex_compare a b =
+  let n = Stdlib.min (dim a) (dim b) in
+  let rec go i =
+    if i >= n then compare (dim a) (dim b)
+    else
+      let c = Mpz.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let lex_positive v =
+  match height v with None -> false | Some i -> Mpz.is_positive v.(i)
+
+let lex_nonnegative v =
+  match height v with None -> true | Some i -> Mpz.is_positive v.(i)
+
+let gcd v = Array.fold_left Mpz.gcd Mpz.zero v
+
+let project v idxs = Array.of_list (List.map (fun i -> v.(i)) idxs)
+
+let concat = Array.append
+
+let pp fmt v =
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") Mpz.pp)
+    (Array.to_list v)

@@ -1,0 +1,49 @@
+(** Dense vectors over {!Inl_num.Mpz}.
+
+    Instance vectors, dependence distance vectors and transformation-matrix
+    rows are all small integer vectors; this module gives them exact
+    arithmetic and the lexicographic tests the legality conditions of the
+    paper are phrased in. *)
+
+type t = Inl_num.Mpz.t array
+
+val of_int_array : int array -> t
+val of_int_list : int list -> t
+val to_int_array : t -> int array
+(** @raise Failure if an entry does not fit a native int. *)
+
+val zero : int -> t
+val unit : int -> int -> t
+(** [unit n i] is the length-[n] vector with a one at index [i]. *)
+
+val dim : t -> int
+val copy : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Inl_num.Mpz.t -> t -> t
+val scale_int : int -> t -> t
+val dot : t -> t -> Inl_num.Mpz.t
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val height : t -> int option
+(** Index of the first non-zero entry (the paper's [Height], used by the
+    completion procedure of Fig 7), or [None] for the zero vector. *)
+
+val lex_compare : t -> t -> int
+val lex_positive : t -> bool
+(** First non-zero entry is positive (strict lexicographic positivity). *)
+
+val lex_nonnegative : t -> bool
+(** Zero vector or lexicographically positive. *)
+
+val gcd : t -> Inl_num.Mpz.t
+(** Non-negative gcd of all entries; zero for the zero vector. *)
+
+val project : t -> int list -> t
+(** [project v idxs] keeps the entries of [v] at positions [idxs], in the
+    given order. *)
+
+val concat : t -> t -> t
+val pp : Format.formatter -> t -> unit

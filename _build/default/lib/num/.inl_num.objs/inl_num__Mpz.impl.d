@@ -1,0 +1,1 @@
+lib/num/mpz.ml: Array Buffer Char Format Hashtbl List Stdlib String

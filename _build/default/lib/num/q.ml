@@ -1,0 +1,64 @@
+type t = { num : Mpz.t; den : Mpz.t }
+
+let make num den =
+  if Mpz.is_zero den then raise Division_by_zero;
+  if Mpz.is_zero num then { num = Mpz.zero; den = Mpz.one }
+  else begin
+    let num, den = if Mpz.is_negative den then (Mpz.neg num, Mpz.neg den) else (num, den) in
+    let g = Mpz.gcd num den in
+    if Mpz.is_one g then { num; den }
+    else { num = fst (Mpz.divmod num g); den = fst (Mpz.divmod den g) }
+  end
+
+let of_mpz n = { num = n; den = Mpz.one }
+let of_int n = of_mpz (Mpz.of_int n)
+let of_ints n d = make (Mpz.of_int n) (Mpz.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num q = q.num
+let den q = q.den
+
+let add a b = make (Mpz.add (Mpz.mul a.num b.den) (Mpz.mul b.num a.den)) (Mpz.mul a.den b.den)
+let sub a b = make (Mpz.sub (Mpz.mul a.num b.den) (Mpz.mul b.num a.den)) (Mpz.mul a.den b.den)
+let mul a b = make (Mpz.mul a.num b.num) (Mpz.mul a.den b.den)
+let div a b = make (Mpz.mul a.num b.den) (Mpz.mul a.den b.num)
+let neg a = { a with num = Mpz.neg a.num }
+let abs a = { a with num = Mpz.abs a.num }
+let inv a = make a.den a.num
+
+let sign a = Mpz.sign a.num
+let compare a b = Mpz.compare (Mpz.mul a.num b.den) (Mpz.mul b.num a.den)
+let equal a b = Mpz.equal a.num b.num && Mpz.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_zero a = Mpz.is_zero a.num
+let is_integer a = Mpz.is_one a.den
+
+let floor a = Mpz.fdiv a.num a.den
+let ceil a = Mpz.cdiv a.num a.den
+
+let to_mpz_exn a =
+  if is_integer a then a.num else failwith "Q.to_mpz_exn: not an integer"
+
+let to_string a =
+  if is_integer a then Mpz.to_string a.num
+  else Mpz.to_string a.num ^ "/" ^ Mpz.to_string a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,65 @@
+(** Arbitrary-precision rationals over {!Mpz}.
+
+    Values are kept canonical: the denominator is strictly positive and
+    [gcd num den = 1], so structural equality coincides with numeric
+    equality.  Used for exact linear algebra (inverses, nullspaces,
+    Gaussian elimination) in the transformation framework. *)
+
+type t = private { num : Mpz.t; den : Mpz.t }
+
+val make : Mpz.t -> Mpz.t -> t
+(** [make num den] is the reduced rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_mpz : Mpz.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> Mpz.t
+val den : t -> Mpz.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val floor : t -> Mpz.t
+val ceil : t -> Mpz.t
+
+val to_mpz_exn : t -> Mpz.t
+(** @raise Failure if the value is not an integer. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/presburger/constr.ml: Format Inl_num Linexpr

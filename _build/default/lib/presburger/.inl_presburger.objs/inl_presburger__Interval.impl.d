@@ -1,0 +1,1 @@
+lib/presburger/interval.ml: Format Inl_num Printf

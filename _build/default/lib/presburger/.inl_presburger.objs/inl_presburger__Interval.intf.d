@@ -1,0 +1,1 @@
+lib/presburger/interval.mli: Format Inl_num

@@ -1,0 +1,1 @@
+lib/presburger/linexpr.ml: Format Inl_num List Map String

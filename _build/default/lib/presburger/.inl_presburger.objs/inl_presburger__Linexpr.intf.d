@@ -1,0 +1,1 @@
+lib/presburger/linexpr.mli: Format Inl_num Map

@@ -1,0 +1,1 @@
+lib/presburger/omega.ml: Constr Inl_num Interval Linexpr List Option Printf String System

@@ -1,0 +1,1 @@
+lib/presburger/omega.mli: Constr Interval System

@@ -1,0 +1,1 @@
+lib/presburger/system.ml: Constr Format Inl_num List Printf Set String

@@ -1,0 +1,1 @@
+lib/presburger/system.mli: Constr Format Inl_num Linexpr

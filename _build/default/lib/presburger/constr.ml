@@ -1,0 +1,62 @@
+module Mpz = Inl_num.Mpz
+
+type t = Ge of Linexpr.t | Eq of Linexpr.t
+
+let ge e = Ge e
+let le e = Ge (Linexpr.neg e)
+let eq e = Eq e
+let ge2 a b = Ge (Linexpr.sub a b)
+let le2 a b = Ge (Linexpr.sub b a)
+let eq2 a b = Eq (Linexpr.sub a b)
+let gt2 a b = Ge (Linexpr.add_const (Linexpr.sub a b) Mpz.minus_one)
+let lt2 a b = gt2 b a
+
+let expr = function Ge e | Eq e -> e
+let is_eq = function Eq _ -> true | Ge _ -> false
+let vars c = Linexpr.vars (expr c)
+let mem c x = Linexpr.mem (expr c) x
+
+let map f = function Ge e -> Ge (f e) | Eq e -> Eq (f e)
+let subst c x e' = map (fun e -> Linexpr.subst e x e') c
+let rename f c = map (Linexpr.rename f) c
+
+let holds c env =
+  let v = Linexpr.eval (expr c) env in
+  match c with Ge _ -> Mpz.sign v >= 0 | Eq _ -> Mpz.is_zero v
+
+let normalize c =
+  let e = expr c in
+  if Linexpr.is_constant e then begin
+    match c with
+    | Ge _ -> if Mpz.sign (Linexpr.constant e) >= 0 then `True else `False
+    | Eq _ -> if Mpz.is_zero (Linexpr.constant e) then `True else `False
+  end
+  else begin
+    let g = Linexpr.content e in
+    if Mpz.is_one g then `Constr c
+    else
+      match c with
+      | Ge _ ->
+          (* a_i/g stay integral; the constant floors: sum (a_i/g) x_i +
+             floor(c/g) >= 0 is equivalent over the integers *)
+          `Constr (Ge (Linexpr.map_coeffs (fun x -> Mpz.fdiv x g) e))
+      | Eq _ ->
+          if Mpz.is_zero (Mpz.fmod (Linexpr.constant e) g) then
+            `Constr (Eq (Linexpr.map_coeffs (fun x -> Mpz.fdiv x g) e))
+          else `False
+  end
+
+let equal a b =
+  match (a, b) with
+  | Ge x, Ge y | Eq x, Eq y -> Linexpr.equal x y
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Ge _, Eq _ -> -1
+  | Eq _, Ge _ -> 1
+  | Ge x, Ge y | Eq x, Eq y -> Linexpr.compare x y
+
+let pp fmt = function
+  | Ge e -> Format.fprintf fmt "%a >= 0" Linexpr.pp e
+  | Eq e -> Format.fprintf fmt "%a = 0" Linexpr.pp e

@@ -1,0 +1,39 @@
+(** Affine constraints: [e >= 0] or [e = 0] for a linear expression [e]. *)
+
+module Mpz = Inl_num.Mpz
+
+type t = Ge of Linexpr.t | Eq of Linexpr.t
+
+val ge : Linexpr.t -> t
+(** [e >= 0]. *)
+
+val le : Linexpr.t -> t
+(** [e <= 0], stored as [-e >= 0]. *)
+
+val eq : Linexpr.t -> t
+val ge2 : Linexpr.t -> Linexpr.t -> t
+(** [ge2 a b] is [a >= b]. *)
+
+val le2 : Linexpr.t -> Linexpr.t -> t
+val eq2 : Linexpr.t -> Linexpr.t -> t
+val gt2 : Linexpr.t -> Linexpr.t -> t
+(** Strict [a > b], i.e. [a - b - 1 >= 0] over the integers. *)
+
+val lt2 : Linexpr.t -> Linexpr.t -> t
+val expr : t -> Linexpr.t
+val is_eq : t -> bool
+val vars : t -> string list
+val mem : t -> string -> bool
+val subst : t -> string -> Linexpr.t -> t
+val rename : (string -> string) -> t -> t
+val holds : t -> (string -> Mpz.t) -> bool
+
+val normalize : t -> [ `True | `False | `Constr of t ]
+(** Gcd-tighten: divides a [Ge] by the content with floor on the constant
+    (integer tightening), an [Eq] exactly or reports [`False] when the gcd
+    does not divide the constant; constant constraints evaluate to
+    [`True]/[`False]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

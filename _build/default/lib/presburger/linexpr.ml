@@ -1,0 +1,86 @@
+module Mpz = Inl_num.Mpz
+module Vmap = Map.Make (String)
+
+type t = { coeffs : Mpz.t Vmap.t; const : Mpz.t }
+
+let zero = { coeffs = Vmap.empty; const = Mpz.zero }
+let const c = { coeffs = Vmap.empty; const = c }
+let of_int n = const (Mpz.of_int n)
+
+let put x a m = if Mpz.is_zero a then Vmap.remove x m else Vmap.add x a m
+
+let term a x = { coeffs = put x a Vmap.empty; const = Mpz.zero }
+let term_int a x = term (Mpz.of_int a) x
+let var x = term Mpz.one x
+
+let coeff e x = match Vmap.find_opt x e.coeffs with Some a -> a | None -> Mpz.zero
+let constant e = e.const
+
+let add a b =
+  {
+    coeffs =
+      Vmap.union (fun _ x y -> let s = Mpz.add x y in if Mpz.is_zero s then None else Some s) a.coeffs b.coeffs;
+    const = Mpz.add a.const b.const;
+  }
+
+let neg e = { coeffs = Vmap.map Mpz.neg e.coeffs; const = Mpz.neg e.const }
+let sub a b = add a (neg b)
+
+let scale k e =
+  if Mpz.is_zero k then zero
+  else { coeffs = Vmap.map (Mpz.mul k) e.coeffs; const = Mpz.mul k e.const }
+
+let scale_int k e = scale (Mpz.of_int k) e
+let add_const e c = { e with const = Mpz.add e.const c }
+
+let of_terms terms c =
+  List.fold_left (fun acc (a, x) -> add acc (term_int a x)) (of_int c) terms
+
+let vars e = List.map fst (Vmap.bindings e.coeffs)
+let mem e x = Vmap.mem x e.coeffs
+let is_constant e = Vmap.is_empty e.coeffs
+
+let equal a b = Vmap.equal Mpz.equal a.coeffs b.coeffs && Mpz.equal a.const b.const
+
+let subst e x e' =
+  let a = coeff e x in
+  if Mpz.is_zero a then e
+  else add { e with coeffs = Vmap.remove x e.coeffs } (scale a e')
+
+let rename f e =
+  Vmap.fold (fun x a acc -> add acc (term a (f x))) e.coeffs (const e.const)
+
+let eval e env =
+  Vmap.fold (fun x a acc -> Mpz.add acc (Mpz.mul a (env x))) e.coeffs e.const
+
+let content e = Vmap.fold (fun _ a acc -> Mpz.gcd acc a) e.coeffs Mpz.zero
+
+let map_coeffs f e = { coeffs = Vmap.map f e.coeffs; const = f e.const }
+
+let fold f e acc = Vmap.fold f e.coeffs acc
+
+let compare a b =
+  let c = Vmap.compare Mpz.compare a.coeffs b.coeffs in
+  if c <> 0 then c else Mpz.compare a.const b.const
+
+let pp fmt e =
+  let first = ref true in
+  let psign fmt a =
+    if !first then begin
+      first := false;
+      if Mpz.is_negative a then Format.fprintf fmt "-"
+    end
+    else if Mpz.is_negative a then Format.fprintf fmt " - "
+    else Format.fprintf fmt " + "
+  in
+  Vmap.iter
+    (fun x a ->
+      psign fmt a;
+      let m = Mpz.abs a in
+      if Mpz.is_one m then Format.fprintf fmt "%s" x
+      else Format.fprintf fmt "%a*%s" Mpz.pp m x)
+    e.coeffs;
+  if not (Mpz.is_zero e.const) || !first then begin
+    psign fmt e.const;
+    Format.fprintf fmt "%a" Mpz.pp (Mpz.abs e.const)
+  end

@@ -1,0 +1,56 @@
+(** Linear expressions over named integer variables with exact
+    coefficients: [sum_i a_i * x_i + c].
+
+    These are the atoms of the dependence-analysis constraint systems of
+    Section 3 and of the loop-bound polyhedra of Section 5.5. *)
+
+module Mpz = Inl_num.Mpz
+module Vmap : Map.S with type key = string
+
+type t = { coeffs : Mpz.t Vmap.t; const : Mpz.t }
+(** Canonical: no zero coefficients are stored. *)
+
+val zero : t
+val const : Mpz.t -> t
+val of_int : int -> t
+val var : string -> t
+val term : Mpz.t -> string -> t
+val term_int : int -> string -> t
+
+val of_terms : (int * string) list -> int -> t
+(** [of_terms [(a1,x1);...] c] is [a1*x1 + ... + c].  Repeated variables
+    accumulate. *)
+
+val coeff : t -> string -> Mpz.t
+val constant : t -> Mpz.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Mpz.t -> t -> t
+val scale_int : int -> t -> t
+val add_const : t -> Mpz.t -> t
+
+val vars : t -> string list
+(** Variables with non-zero coefficient, sorted. *)
+
+val mem : t -> string -> bool
+val is_constant : t -> bool
+val equal : t -> t -> bool
+
+val subst : t -> string -> t -> t
+(** [subst e x e'] replaces [x] by [e'] in [e]. *)
+
+val rename : (string -> string) -> t -> t
+
+val eval : t -> (string -> Mpz.t) -> Mpz.t
+
+val content : t -> Mpz.t
+(** Gcd of the coefficients (not the constant); zero if all coefficients
+    are zero. *)
+
+val map_coeffs : (Mpz.t -> Mpz.t) -> t -> t
+(** Applies to coefficients and the constant alike. *)
+
+val fold : (string -> Mpz.t -> 'a -> 'a) -> t -> 'a -> 'a
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

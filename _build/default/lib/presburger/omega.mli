@@ -1,0 +1,31 @@
+(** Exact elimination of integer variables from affine constraint systems —
+    the role played by the Omega tool-kit (Pugh [11]) in the paper's
+    dependence analysis (Section 3).
+
+    The engine is integer-exact Fourier-Motzkin: equalities are removed by
+    substitution (using Pugh's symmetric-modulo trick when no unit
+    coefficient is available), and inequality elimination distinguishes
+    the real shadow from the dark shadow, enumerating splinters when they
+    differ.  Because existential integer quantification does not preserve
+    conjunctive form, projections return a {e disjunction} of systems. *)
+
+exception Blowup
+(** Raised when a projection exceeds the internal disjunct budget. *)
+
+val satisfiable : System.t -> bool
+
+val project : System.t -> keep:(string -> bool) -> System.t list
+(** [project sys ~keep] is a list of systems, mentioning only variables
+    satisfying [keep], whose union of solution sets equals the projection
+    of [sys]'s solutions.  The empty list means unsatisfiable. *)
+
+val implied_interval : System.t -> string -> Interval.t
+(** Tightest integer interval containing the values of the variable over
+    all solutions of the system (the hull across disjuncts); an empty
+    interval when the system is unsatisfiable. *)
+
+val implies : System.t -> Constr.t -> bool
+(** [implies sys c]: every integer solution of [sys] satisfies [c]. *)
+
+val fresh_var : unit -> string
+(** Fresh auxiliary variable name (reserved ["$w%d"] namespace). *)

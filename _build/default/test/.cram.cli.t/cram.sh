@@ -1,0 +1,22 @@
+  $ cat > chol.loop <<'EOF'
+  > params N
+  > do I = 1..N
+  >   S1: A(I) = sqrt(A(I))
+  >   do J = I+1..N
+  >     S2: A(J) = A(J) / A(I)
+  >   enddo
+  > enddo
+  > EOF
+  $ inltool show chol.loop
+  $ inltool apply chol.loop --interchange I,J 2>&1 | tail -1
+  $ inltool apply chol.loop --reorder 0:1,0 --interchange I,J --verify 6 | tail -9
+  $ inltool deps chol.loop | head -6
+  $ inltool complete chol.loop --row 0,0,0,1 --verify 5 | tail -9
+  $ cat > tiny.loop <<'EOF'
+  > params N
+  > do I = 1..N
+  >   S1: A(I) = 2 * I
+  > enddo
+  > EOF
+  $ inltool run tiny.loop -N 3
+  $ inltool apply tiny.loop --scale I,3 --no-simplify | tail -9

@@ -1,0 +1,1 @@
+test/test_blockstruct.ml: Alcotest Array Inl Inl_instance Inl_ir Inl_kernels Inl_linalg Inl_num List String

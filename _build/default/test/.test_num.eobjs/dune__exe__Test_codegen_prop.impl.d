@@ -1,0 +1,1 @@
+test/test_codegen_prop.ml: Alcotest Inl Inl_instance Inl_interp Inl_ir Inl_linalg List Printf QCheck2 QCheck_alcotest

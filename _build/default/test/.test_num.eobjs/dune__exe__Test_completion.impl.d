@@ -1,0 +1,1 @@
+test/test_completion.ml: Alcotest Array Inl Inl_instance Inl_interp Inl_ir Inl_linalg Inl_num List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_completion_ext.ml: Alcotest Inl Inl_instance Inl_interp Inl_ir Inl_kernels Inl_linalg Inl_num List

@@ -1,0 +1,1 @@
+test/test_depend.ml: Alcotest Array Format Inl_depend Inl_instance Inl_ir Inl_num Inl_presburger List Printf QCheck2 QCheck_alcotest String

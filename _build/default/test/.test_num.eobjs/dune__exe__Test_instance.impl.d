@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Inl_instance Inl_ir Inl_linalg Inl_num List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Inl_num Inl_presburger List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Inl_linalg Inl_num List QCheck2 QCheck_alcotest

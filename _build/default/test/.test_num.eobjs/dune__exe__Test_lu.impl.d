@@ -1,0 +1,1 @@
+test/test_lu.ml: Alcotest Array Hashtbl Inl Inl_depend Inl_interp Inl_ir Inl_kernels Inl_linalg List Printf

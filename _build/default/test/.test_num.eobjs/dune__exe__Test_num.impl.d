@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Inl_num List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Format Inl Inl_interp Inl_ir Inl_num Inl_presburger List

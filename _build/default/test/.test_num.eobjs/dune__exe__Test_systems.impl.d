@@ -1,0 +1,1 @@
+test/test_systems.ml: Alcotest Array Hashtbl Inl Inl_baseline Inl_cachesim Inl_depend Inl_instance Inl_interp Inl_ir Inl_kernels Inl_linalg List Printf Result

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Inl Inl_depend Inl_instance Inl_interp Inl_ir Inl_linalg Inl_num List String

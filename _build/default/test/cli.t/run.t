@@ -1,0 +1,97 @@
+The CLI drives the framework end to end.  First write a program:
+
+  $ cat > chol.loop <<'EOF'
+  > params N
+  > do I = 1..N
+  >   S1: A(I) = sqrt(A(I))
+  >   do J = I+1..N
+  >     S2: A(J) = A(J) / A(I)
+  >   enddo
+  > enddo
+  > EOF
+
+  $ inltool show chol.loop
+  params N
+  do I = 1..N
+    S1: A(I) = sqrt(A(I))
+    do J = I + 1..N
+      S2: A(J) = A(J) / A(I)
+    enddo
+  enddo
+  
+  instance-vector positions:
+  0: loop I at [0]
+  1: edge [0] -> child 1
+  2: edge [0] -> child 0
+  3: loop J at [0;1]
+  
+  S1: loops=[I] padded positions=[3]
+  S2: loops=[I;J] padded positions=[]
+
+A bare interchange is rejected with a diagnostic:
+
+  $ inltool apply chol.loop --interchange I,J 2>&1 | tail -1
+  illegal transformation: dependence flow S2->S1 on A [+, -1, 1, 0] (carried(1)) can collapse to equal common-loop iterations, but S2 does not precede S1 in the transformed program
+
+The legal permutation is generated and verified:
+
+  $ inltool apply chol.loop --reorder 0:1,0 --interchange I,J --verify 6 | tail -9
+  params N
+  do t1 = 1..N
+    do t2 = 1..t1 - 1
+      S2: A(t1) = A(t1) / A(t2)
+    enddo
+    S1: A(t1) = sqrt(A(t1))
+  enddo
+  
+  verified equivalent at N = 6
+
+The dependence matrix (Section 3):
+
+  $ inltool deps chol.loop | head -6
+  S1>S2  S2>S1  S2>S1  S2>S1  S2>S2  S2>S2  S2>S2  S2>S2
+  0      +      +      +      +      +      +      +    
+  1      -1     -1     -1     0      0      0      0    
+  -1     1      1      1      0      0      0      0    
+  +      0      0      0      0      +      0      0    
+  
+
+Completion from a partial first row (Section 6):
+
+  $ inltool complete chol.loop --row 0,0,0,1 --verify 5 | tail -9
+  params N
+  do t1 = 1..N
+    do t2 = 1..t1 - 1
+      S2: A(t1) = A(t1) / A(t2)
+    enddo
+    S1: A(t1) = sqrt(A(t1))
+  enddo
+  
+  verified equivalent at N = 5
+
+Interpreting a program dumps the store:
+
+  $ cat > tiny.loop <<'EOF'
+  > params N
+  > do I = 1..N
+  >   S1: A(I) = 2 * I
+  > enddo
+  > EOF
+
+  $ inltool run tiny.loop -N 3
+  A(1) = 2
+  A(2) = 4
+  A(3) = 6
+
+Scaling produces strided reconstruction with exact-quotient bindings:
+
+  $ inltool apply tiny.loop --scale I,3 --no-simplify | tail -9
+  params N
+  do t1 = 3..3*N
+    if (t1 mod 3 = 0) then
+      let I = (t1) / 3 in
+        if (I - 1 >= 0 and -I + N >= 0) then
+          S1: A(I) = 2 * I
+        endif
+    endif
+  enddo

@@ -1,0 +1,148 @@
+(* Tests for the completion-procedure extension with loop distribution and
+   fusion (the paper's Section 7 future work).
+
+   The decisive case: in a loop containing both a recurrence and an
+   independent statement, reversing the independent statement's loop is
+   impossible with a single shared loop row, but becomes possible after
+   distribution — the extension discovers this automatically. *)
+
+module Mpz = Inl_num.Mpz
+module Vec = Inl_linalg.Vec
+module Mat = Inl_linalg.Mat
+module Ast = Inl_ir.Ast
+module Layout = Inl_instance.Layout
+module Interp = Inl_interp.Interp
+module Ext = Inl.Completion_ext
+
+let mixed_src =
+  "params N\n\
+   do I = 1..N\n\
+  \ S1: B(I) = B(I-1) + 1\n\
+  \ S2: A(I) = A(I) + 2\n\
+   enddo\n"
+
+let two_loops_src =
+  "params N\n\
+   do I = 1..N\n\
+  \ S1: A(I) = 2 * I\n\
+   enddo\n\
+   do I2 = 1..N\n\
+  \ S2: B(I2) = A(I2) + 1\n\
+   enddo\n"
+
+let bad_fusion_src =
+  "params N\n\
+   do I = 1..N\n\
+  \ S1: A(I) = B(I) + 1\n\
+   enddo\n\
+   do I2 = 1..N\n\
+  \ S2: C(I2) = A(I2+1) * 2\n\
+   enddo\n"
+
+(* S2's loop is reversed in the given variant/matrix. *)
+let s2_reversed (v : Ext.variant) (m : Mat.t) =
+  match Inl.Legality.check v.Ext.layout m v.Ext.deps with
+  | Inl.Legality.Illegal _ -> false
+  | Inl.Legality.Legal { structure; _ } ->
+      let p = Inl.Perstmt.of_structure structure "S2" in
+      Mat.rows p.Inl.Perstmt.matrix = 1
+      && Mpz.equal (Mat.get p.Inl.Perstmt.matrix 0 0) Mpz.minus_one
+
+let test_variants_enumeration () =
+  let ctx = Inl.analyze_source mixed_src in
+  let vs = Ext.variants ctx.Inl.layout ctx.Inl.deps in
+  (* original + the (legal) distribution between S1 and S2 *)
+  Alcotest.(check int) "two variants" 2 (List.length vs);
+  match vs with
+  | [ { Ext.restructuring = Ext.Original; _ }; { Ext.restructuring = Ext.Distributed 1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected [original; distributed at 1]"
+
+let test_reversal_needs_distribution () =
+  let ctx = Inl.analyze_source mixed_src in
+  (* without restructuring: no legal matrix reverses S2's loop (S1 shares it) *)
+  let base_only =
+    Inl.Completion.complete ctx.Inl.layout ctx.Inl.deps ~partial:[]
+      ~goal:(fun m ->
+        s2_reversed
+          {
+            Ext.restructuring = Ext.Original;
+            program = ctx.Inl.program;
+            layout = ctx.Inl.layout;
+            deps = ctx.Inl.deps;
+          }
+          m)
+  in
+  Alcotest.(check bool) "impossible without distribution" true (base_only = None);
+  match Ext.complete_with_restructuring ctx.Inl.layout ctx.Inl.deps ~goal:s2_reversed with
+  | None -> Alcotest.fail "extension should find a distributed solution"
+  | Some (v, m) -> (
+      (match v.Ext.restructuring with
+      | Ext.Distributed 1 -> ()
+      | r -> Alcotest.failf "expected distribution, got %s" (Ext.describe r));
+      (* the distributed variant itself is equivalent to the source *)
+      (match Interp.equivalent ctx.Inl.program v.Ext.program ~params:[ ("N", 6) ] with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "distributed variant differs: %s" d);
+      (* and the transformed distributed program still is *)
+      let vctx = Inl.analyze ~padding:Layout.Diagonal v.Ext.program in
+      match Inl.transform vctx m with
+      | Error msg -> Alcotest.failf "codegen failed: %s" msg
+      | Ok prog -> (
+          match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", 6) ] with
+          | Ok () -> ()
+          | Error d -> Alcotest.failf "final program differs: %s" d))
+
+let test_fusion_variant () =
+  let ctx = Inl.analyze_source two_loops_src in
+  let vs = Ext.variants ctx.Inl.layout ctx.Inl.deps in
+  let fused =
+    List.find_opt (fun v -> v.Ext.restructuring = Ext.Fused) vs
+  in
+  match fused with
+  | None -> Alcotest.fail "fusion should be legal here"
+  | Some v -> (
+      (match v.Ext.program.Ast.nest with
+      | [ Ast.Loop l ] -> Alcotest.(check int) "fused children" 2 (List.length l.Ast.body)
+      | _ -> Alcotest.fail "expected one fused loop");
+      match Interp.equivalent ctx.Inl.program v.Ext.program ~params:[ ("N", 7) ] with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "fused variant differs: %s" d)
+
+let test_fusion_goal () =
+  let ctx = Inl.analyze_source two_loops_src in
+  (* goal: a single top-level loop *)
+  let single_loop (v : Ext.variant) _ =
+    match v.Ext.program.Ast.nest with [ Ast.Loop _ ] -> true | _ -> false
+  in
+  match Ext.complete_with_restructuring ctx.Inl.layout ctx.Inl.deps ~goal:single_loop with
+  | Some (v, _) when v.Ext.restructuring = Ext.Fused -> ()
+  | Some (v, _) -> Alcotest.failf "expected fusion, got %s" (Ext.describe v.Ext.restructuring)
+  | None -> Alcotest.fail "fusion goal unreachable"
+
+let test_illegal_fusion_rejected () =
+  let ctx = Inl.analyze_source bad_fusion_src in
+  (* A(I2+1) is read one iteration ahead of its production: fusing would
+     read the stale value *)
+  let vs = Ext.variants ctx.Inl.layout ctx.Inl.deps in
+  Alcotest.(check bool) "no fused variant" true
+    (not (List.exists (fun v -> v.Ext.restructuring = Ext.Fused) vs))
+
+let test_cholesky_distribution_rejected () =
+  let ctx = Inl.analyze_source Inl_kernels.Paper_examples.simplified_cholesky in
+  let vs = Ext.variants ctx.Inl.layout ctx.Inl.deps in
+  Alcotest.(check int) "only the original" 1 (List.length vs)
+
+let () =
+  Alcotest.run "completion-ext"
+    [
+      ( "extension",
+        [
+          Alcotest.test_case "variant enumeration" `Quick test_variants_enumeration;
+          Alcotest.test_case "reversal needs distribution" `Quick test_reversal_needs_distribution;
+          Alcotest.test_case "fusion variant" `Quick test_fusion_variant;
+          Alcotest.test_case "fusion goal" `Quick test_fusion_goal;
+          Alcotest.test_case "illegal fusion rejected" `Quick test_illegal_fusion_rejected;
+          Alcotest.test_case "Cholesky distribution rejected" `Quick
+            test_cholesky_distribution_rejected;
+        ] );
+    ]

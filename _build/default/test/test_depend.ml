@@ -1,0 +1,207 @@
+(* Tests for dependence analysis (Section 3).
+
+   Unit tests pin the dependence vectors of the paper's examples; the
+   differential property checks that on concrete parameter values every
+   empirically observed dependent instance pair is covered by some
+   symbolic dependence (same statements, same kind, instance-vector
+   difference inside the symbolic intervals), and conversely that each
+   symbolic dependence is witnessed by at least one concrete pair. *)
+
+module Interval = Inl_presburger.Interval
+module Parser = Inl_ir.Parser
+module Layout = Inl_instance.Layout
+module Dep = Inl_depend.Dep
+module Analysis = Inl_depend.Analysis
+
+let cholesky_src = {|
+params N
+do I = 1..N
+  S1: A(I) = sqrt(A(I))
+  do J = I+1..N
+    S2: A(J) = A(J) / A(I)
+  enddo
+enddo
+|}
+
+let layout_of src = Layout.of_program (Parser.parse_exn src)
+
+let symbols (d : Dep.t) = String.concat "," (Dep.vector_symbols d)
+
+let find_dep deps ~src ~dst ~kind =
+  List.filter
+    (fun (d : Dep.t) -> d.src = src && d.dst = dst && d.kind = kind)
+    deps
+
+(* Section 3: flow dependence S1 -> S2 is [0, 1, -1, +]'. *)
+let test_cholesky_flow () =
+  let layout = layout_of cholesky_src in
+  let deps = Analysis.dependences layout in
+  match find_dep deps ~src:"S1" ~dst:"S2" ~kind:Dep.Flow with
+  | [ d ] ->
+      Alcotest.(check string) "paper vector" "0,1,-1,+" (symbols d);
+      Alcotest.(check bool) "loop-independent" true (d.level = Dep.Independent)
+  | ds -> Alcotest.failf "expected exactly one flow S1->S2, got %d" (List.length ds)
+
+let test_cholesky_all_deps () =
+  let layout = layout_of cholesky_src in
+  let deps = Analysis.dependences layout in
+  (* anti S2 -> S1: S2 reads A(J), S1 writes A(I') at I' = J > I *)
+  (match find_dep deps ~src:"S2" ~dst:"S1" ~kind:Dep.Anti with
+  | [ d ] -> Alcotest.(check string) "anti S2->S1" "+,-1,1,0" (symbols d)
+  | ds -> Alcotest.failf "anti S2->S1: got %d" (List.length ds));
+  (* flow S2 -> S1: same access pattern, S2 writes A(J), S1 reads A(I') *)
+  (match find_dep deps ~src:"S2" ~dst:"S1" ~kind:Dep.Flow with
+  | [ d ] -> Alcotest.(check string) "flow S2->S1" "+,-1,1,0" (symbols d)
+  | ds -> Alcotest.failf "flow S2->S1: got %d" (List.length ds));
+  (* output S2 -> S2 on A(J), carried by I *)
+  match find_dep deps ~src:"S2" ~dst:"S2" ~kind:Dep.Output with
+  | [ d ] -> Alcotest.(check string) "output S2->S2" "+,0,0,0" (symbols d)
+  | ds -> Alcotest.failf "output S2->S2: got %d" (List.length ds)
+
+(* The Section 5.4 example:
+     do I: S1: B(I) = B(I-1) + A(I-1,I+1); do J = I..N: S2: A(I,J) = f()
+   The paper's dependence matrix D has columns [1,0,0,1]' (flow S1->S1 on
+   B, distance 1) and [1,-1,1,-1]' (flow S2->S1 on A). *)
+let aug_src = {|
+params N
+do I = 1..N
+  S1: B(I) = B(I-1) + A(I-1,I+1)
+  do J = I..N
+    S2: A(I,J) = f()
+  enddo
+enddo
+|}
+
+let test_section54_deps () =
+  let layout = layout_of aug_src in
+  let deps = Analysis.dependences layout in
+  (match find_dep deps ~src:"S1" ~dst:"S1" ~kind:Dep.Flow with
+  | [ d ] -> Alcotest.(check string) "B self flow" "1,0,0,1" (symbols d)
+  | ds -> Alcotest.failf "B self flow: got %d" (List.length ds));
+  match find_dep deps ~src:"S2" ~dst:"S1" ~kind:Dep.Flow with
+  | [ d ] -> Alcotest.(check string) "A flow S2->S1" "1,-1,1,-1" (symbols d)
+  | ds -> Alcotest.failf "A flow S2->S1: got %d" (List.length ds)
+
+(* Full Cholesky: the dependence matrix of Section 6.  We check the two
+   columns that are unambiguous in the paper's text: flow S1->S2
+   [0,0,1,-1,0,0,+]' and flow S2->S3 [0,1,-1,0,+,+,-]'. *)
+let full_cholesky_src = {|
+params N
+do K = 1..N
+  S1: A[K][K] = sqrt(A[K][K])
+  do I = K+1..N
+    S2: A[I][K] = A[I][K] / A[K][K]
+  enddo
+  do J = K+1..N
+    do L = K+1..J
+      S3: A[J][L] = A[J][L] - A[J][K] * A[L][K]
+    enddo
+  enddo
+enddo
+|}
+
+let test_full_cholesky_deps () =
+  let layout = layout_of full_cholesky_src in
+  let deps = Analysis.dependences layout in
+  (match find_dep deps ~src:"S1" ~dst:"S2" ~kind:Dep.Flow with
+  | [ d ] -> Alcotest.(check string) "S1->S2" "0,0,1,-1,0,0,+" (symbols d)
+  | ds -> Alcotest.failf "S1->S2: got %d" (List.length ds));
+  (match find_dep deps ~src:"S2" ~dst:"S3" ~kind:Dep.Flow with
+  | ds ->
+      (* two reads of column K in S3 hit the same write; both give the same
+         direction profile on the K and edge positions *)
+      Alcotest.(check bool) "at least one" true (List.length ds >= 1);
+      List.iter
+        (fun (d : Dep.t) ->
+          Alcotest.(check string) "K delta" "0" (Interval.to_symbol d.vector.(0));
+          Alcotest.(check string) "e2 delta" "1" (Interval.to_symbol d.vector.(1));
+          Alcotest.(check string) "e1 delta" "-1" (Interval.to_symbol d.vector.(2)))
+        ds);
+  (* S3 -> S1: the sqrt of step k+1 reads what S3 wrote *)
+  match find_dep deps ~src:"S3" ~dst:"S1" ~kind:Dep.Flow with
+  | [] -> Alcotest.fail "expected flow S3->S1"
+  | _ -> ()
+
+(* ---- differential: symbolic covers concrete, and is witnessed ---- *)
+
+let covers (layout : Layout.t) (deps : Dep.t list) (src, dst, kind, diff) =
+  ignore layout;
+  List.exists
+    (fun (d : Dep.t) ->
+      d.Dep.src = src && d.dst = dst && d.kind = kind
+      && Array.length d.vector = Array.length diff
+      && Array.for_all2
+           (fun iv x -> Interval.contains iv (Inl_num.Mpz.of_int x))
+           d.vector diff)
+    deps
+
+let check_coverage src_text params =
+  let layout = layout_of src_text in
+  let deps = Analysis.dependences layout in
+  let concrete = Analysis.concrete_dependences layout ~params in
+  List.iter
+    (fun ((s, t, k, diff) as c) ->
+      if not (covers layout deps c) then
+        Alcotest.failf "uncovered concrete dependence %s->%s %s [%s]" s t
+          (Dep.kind_to_string k)
+          (String.concat "," (List.map string_of_int (Array.to_list diff))))
+    concrete;
+  (* witness check: every symbolic dep is realized at this parameter size *)
+  List.iter
+    (fun (d : Dep.t) ->
+      let witnessed =
+        List.exists
+          (fun (s, t, k, diff) ->
+            s = d.src && t = d.dst && k = d.kind
+            && Array.for_all2
+                 (fun iv x -> Interval.contains iv (Inl_num.Mpz.of_int x))
+                 d.vector diff)
+          concrete
+      in
+      if not witnessed then
+        Alcotest.failf "unwitnessed symbolic dependence: %s" (Format.asprintf "%a" Dep.pp d))
+    deps
+
+let test_coverage_cholesky () = check_coverage cholesky_src [ ("N", 6) ]
+let test_coverage_aug () = check_coverage aug_src [ ("N", 6) ]
+let test_coverage_full_cholesky () = check_coverage full_cholesky_src [ ("N", 5) ]
+
+(* random little programs: coverage only (witnessing can require larger N) *)
+let gen_src : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* a1 = int_range (-2) 2 in
+  let* a2 = int_range (-2) 2 in
+  let* c = int_range 0 1 in
+  let body =
+    Printf.sprintf "  S2: A(J%+d) = A(J%+d) + B(I)\n" a1 a2
+  in
+  let s1 = if c = 0 then " S1: B(I) = A(I) + 1\n" else " S1: B(I) = B(I-1) + 1\n" in
+  return ("params N\ndo I = 1..N\n" ^ s1 ^ "  do J = I..N\n" ^ body ^ "  enddo\nenddo\n")
+
+let coverage_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"symbolic covers concrete on random programs" ~count:40 gen_src
+       (fun src ->
+         let layout = layout_of src in
+         let deps = Analysis.dependences layout in
+         let concrete = Analysis.concrete_dependences layout ~params:[ ("N", 5) ] in
+         List.for_all (covers layout deps) concrete))
+
+let () =
+  Alcotest.run "depend"
+    [
+      ( "paper",
+        [
+          Alcotest.test_case "Section 3 flow vector" `Quick test_cholesky_flow;
+          Alcotest.test_case "Section 3 full matrix" `Quick test_cholesky_all_deps;
+          Alcotest.test_case "Section 5.4 matrix" `Quick test_section54_deps;
+          Alcotest.test_case "Section 6 Cholesky matrix" `Quick test_full_cholesky_deps;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "coverage: simplified Cholesky" `Quick test_coverage_cholesky;
+          Alcotest.test_case "coverage: Section 5.4 example" `Quick test_coverage_aug;
+          Alcotest.test_case "coverage: full Cholesky" `Slow test_coverage_full_cholesky;
+          coverage_prop;
+        ] );
+    ]

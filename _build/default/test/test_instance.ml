@@ -1,0 +1,338 @@
+(* Tests for the IR (parser, pretty-printer, enumeration) and for the
+   instance-vector machinery of Section 2: the layout positions, the L
+   mapping and its inverse, padded positions, the single-edge
+   optimization, and Theorem 1 (L is injective and order-preserving). *)
+
+module Mpz = Inl_num.Mpz
+module Vec = Inl_linalg.Vec
+module Ast = Inl_ir.Ast
+module Parser = Inl_ir.Parser
+module Pp = Inl_ir.Pp
+module Meval = Inl_ir.Meval
+module Layout = Inl_instance.Layout
+module Order = Inl_instance.Order
+
+let vec_t = Alcotest.testable Vec.pp Vec.equal
+
+(* The running example of Section 2: Figure 1. *)
+let fig1_src = {|
+params N
+do I = 1..N
+  do J = I..N      ! stand-in for f(I)..g(I), which must be affine here
+    S1: A(I,J) = 1
+    S2: B(I,J) = 2
+  enddo
+  S3: C(I) = 3
+enddo
+|}
+
+(* The simplified Cholesky of Section 3. *)
+let cholesky_src = {|
+params N
+do I = 1..N
+  S1: A(I) = sqrt(A(I))
+  do J = I+1..N
+    S2: A(J) = A(J) / A(I)
+  enddo
+enddo
+|}
+
+let fig1 = Parser.parse_exn fig1_src
+let cholesky = Parser.parse_exn cholesky_src
+
+(* ---- parser / printer ---- *)
+
+let test_parse_shape () =
+  Alcotest.(check (list string)) "params" [ "N" ] fig1.params;
+  Alcotest.(check int) "3 statements" 3 (List.length (Ast.stmts_with_paths fig1));
+  let _, s3 = Ast.find_stmt_exn fig1 "S3" in
+  Alcotest.(check string) "S3 writes C" "C" s3.lhs.array;
+  Alcotest.(check bool) "fig1 imperfect" false (Ast.is_perfect fig1);
+  let perfect = Parser.parse_exn "do I = 1..10\n do J = 1..10\n A(I,J) = 0\n enddo\nenddo" in
+  Alcotest.(check bool) "perfect nest" true (Ast.is_perfect perfect)
+
+let test_parse_roundtrip () =
+  (* printing and reparsing is the identity on the printed form *)
+  let printed = Pp.program_to_string cholesky in
+  let reparsed = Parser.parse_exn printed in
+  Alcotest.(check string) "print . parse . print fixpoint" printed (Pp.program_to_string reparsed)
+
+let test_parse_errors () =
+  let bad = [ "do I = 1..N"; "A(I = 3"; "do I = 1..N\nA(J) = 1\nenddo\nenddo" ] in
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" src
+      | Error _ -> ())
+    bad
+
+let test_bracket_syntax () =
+  let p = Parser.parse_exn "do K = 1..N\n A[K][K] = sqrt(A[K][K])\nenddo" in
+  let _, s = List.hd (Ast.stmts_with_paths p) in
+  Alcotest.(check int) "2-d subscript" 2 (List.length s.lhs.index)
+
+let test_rhs_resolution () =
+  (* A is written, so A(I) in a RHS is an array read, while g(I) is a call *)
+  let p = Parser.parse_exn "do I = 2..N\n A(I) = A(I-1) + g(I)\nenddo" in
+  let _, s = List.hd (Ast.stmts_with_paths p) in
+  let rec refs acc = function
+    | Ast.Eref r -> r.Ast.array :: acc
+    | Ast.Ebin (_, a, b) -> refs (refs acc a) b
+    | Ast.Ecall (_, args) -> List.fold_left refs acc args
+    | _ -> acc
+  in
+  let rec calls acc = function
+    | Ast.Ecall (f, args) -> List.fold_left calls (f :: acc) args
+    | Ast.Ebin (_, a, b) -> calls (calls acc a) b
+    | _ -> acc
+  in
+  Alcotest.(check (list string)) "array reads" [ "A" ] (refs [] s.rhs);
+  Alcotest.(check (list string)) "calls" [ "g" ] (calls [] s.rhs)
+
+let test_parser_dialect () =
+  (* 'end do', comments, min/max bounds, params inference, unary minus *)
+  let p =
+    Parser.parse_exn
+      "do I = max(1, M-2)..min(N, M+3)   ! a comment\n  A(I) = -I + 1\nend do"
+  in
+  Alcotest.(check (list string)) "params inferred" [ "M"; "N" ] p.Ast.params;
+  (match p.Ast.nest with
+  | [ Ast.Loop l ] ->
+      Alcotest.(check int) "two lower terms" 2 (List.length l.Ast.lower.Ast.terms);
+      Alcotest.(check int) "two upper terms" 2 (List.length l.Ast.upper.Ast.terms);
+      Alcotest.(check bool) "lower is max" true (l.Ast.lower.Ast.combine = `Max)
+  | _ -> Alcotest.fail "shape");
+  (* swapped combiners are rejected *)
+  (match Parser.parse "do I = min(1,2)..N\n A(I) = 0\nenddo" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "min(...) as a lower bound must be rejected");
+  (* auto labels are generated and unique *)
+  let q = Parser.parse_exn "do I = 1..N\n A(I) = 1\n B(I) = 2\nenddo" in
+  let labels = List.map (fun (_, (st : Ast.stmt)) -> st.Ast.label) (Ast.stmts_with_paths q) in
+  Alcotest.(check int) "distinct labels" 2 (List.length (List.sort_uniq compare labels))
+
+let test_validation_rejections () =
+  let bad =
+    [
+      (* shadowing *)
+      "do I = 1..N\n do I = 1..N\n  A(I) = 0\n enddo\nenddo";
+      (* duplicate labels *)
+      "do I = 1..N\n S: A(I) = 0\n S: B(I) = 1\nenddo";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Ok _ -> Alcotest.failf "expected rejection of %S" src
+      | Error _ -> ())
+    bad
+
+(* ---- enumeration (execution order oracle) ---- *)
+
+let test_enumerate_order () =
+  let insts = Meval.enumerate cholesky ~params:[ ("N", 3) ] in
+  let expected =
+    [
+      ("S1", [| 1 |]); ("S2", [| 1; 2 |]); ("S2", [| 1; 3 |]);
+      ("S1", [| 2 |]); ("S2", [| 2; 3 |]);
+      ("S1", [| 3 |]);
+    ]
+  in
+  Alcotest.(check int) "count" (List.length expected) (List.length insts);
+  List.iter2
+    (fun (l1, i1) (l2, i2) ->
+      Alcotest.(check string) "label" l1 l2;
+      Alcotest.(check (array int)) "iters" i1 i2)
+    expected insts
+
+(* ---- layout ---- *)
+
+let test_cholesky_layout () =
+  let layout = Layout.of_program cholesky in
+  Alcotest.(check int) "4 positions" 4 (Layout.size layout);
+  (* Section 3: S1 instances are [Iw, 0, 1, Iw]', S2's are [Ir, 1, 0, Jr]' *)
+  Alcotest.(check vec_t) "S1 vector" (Vec.of_int_list [ 5; 0; 1; 5 ])
+    (Layout.instance_vector layout "S1" [| 5 |]);
+  Alcotest.(check vec_t) "S2 vector" (Vec.of_int_list [ 2; 1; 0; 7 ])
+    (Layout.instance_vector layout "S2" [| 2; 7 |]);
+  let s1 = Layout.stmt_info layout "S1" and s2 = Layout.stmt_info layout "S2" in
+  (* Definition 4 / Lemma 1: S1 pads the J position; Lemma 2 analog: S2 has
+     no padded positions *)
+  Alcotest.(check (list int)) "S1 padded" [ 3 ] s1.padded_pos;
+  Alcotest.(check (list int)) "S2 padded" [] s2.padded_pos;
+  Alcotest.(check (list int)) "S1 loops" [ 0 ] s1.loop_pos;
+  Alcotest.(check (list int)) "S2 loops" [ 0; 3 ] s2.loop_pos;
+  Alcotest.(check (list int)) "common loop positions" [ 0 ]
+    (Layout.common_loop_positions layout s1 s2)
+
+let test_zero_padding_ablation () =
+  let layout = Layout.of_program ~padding:Layout.Zero cholesky in
+  Alcotest.(check vec_t) "S1 vector, zero padding" (Vec.of_int_list [ 5; 0; 1; 0 ])
+    (Layout.instance_vector layout "S1" [| 5 |])
+
+(* Section 2.2 / Figure 3: on a perfectly nested loop the optimized
+   instance vectors coincide with iteration vectors. *)
+let test_single_edge_optimization () =
+  let perfect = Parser.parse_exn "params N\ndo I = 1..N\n do J = I+1..N\n  S1: A(J) = A(J) / A(I)\n enddo\nenddo" in
+  let layout = Layout.of_program perfect in
+  Alcotest.(check int) "no edge positions" 2 (Layout.size layout);
+  Alcotest.(check vec_t) "iteration vector" (Vec.of_int_list [ 3; 4 ])
+    (Layout.instance_vector layout "S1" [| 3; 4 |])
+
+(* Full Cholesky (Section 6): 7 positions in the documented order
+   [K, e2, e1, e0, J, L, I] — the order the paper's dependence matrix is
+   written in. *)
+let full_cholesky_src = {|
+params N
+do K = 1..N
+  S1: A[K][K] = sqrt(A[K][K])
+  do I = K+1..N
+    S2: A[I][K] = A[I][K] / A[K][K]
+  enddo
+  do J = K+1..N
+    do L = K+1..J
+      S3: A[J][L] = A[J][L] - A[J][K] * A[L][K]
+    enddo
+  enddo
+enddo
+|}
+
+let test_full_cholesky_layout () =
+  let prog = Parser.parse_exn full_cholesky_src in
+  let layout = Layout.of_program prog in
+  Alcotest.(check int) "7 positions" 7 (Layout.size layout);
+  (* S1 at K=k: [k, 0, 0, 1, k, k, k] *)
+  Alcotest.(check vec_t) "S1" (Vec.of_int_list [ 4; 0; 0; 1; 4; 4; 4 ])
+    (Layout.instance_vector layout "S1" [| 4 |]);
+  (* S2 at (K,I)=(k,i): [k, 0, 1, 0, k, k, i] *)
+  Alcotest.(check vec_t) "S2" (Vec.of_int_list [ 2; 0; 1; 0; 2; 2; 5 ])
+    (Layout.instance_vector layout "S2" [| 2; 5 |]);
+  (* S3 at (K,J,L)=(k,j,l): [k, 1, 0, 0, j, l, k] *)
+  Alcotest.(check vec_t) "S3" (Vec.of_int_list [ 1; 1; 0; 0; 3; 2; 1 ])
+    (Layout.instance_vector layout "S3" [| 1; 3; 2 |])
+
+(* ---- L inverse and Theorem 1 ---- *)
+
+let test_l_inverse () =
+  let layout = Layout.of_program cholesky in
+  (match Layout.l_inverse layout (Vec.of_int_list [ 5; 0; 1; 5 ]) with
+  | Some ("S1", [| 5 |]) -> ()
+  | _ -> Alcotest.fail "expected S1 at I=5");
+  (match Layout.l_inverse layout (Vec.of_int_list [ 2; 1; 0; 7 ]) with
+  | Some ("S2", [| 2; 7 |]) -> ()
+  | _ -> Alcotest.fail "expected S2 at (2,7)");
+  match Layout.l_inverse layout (Vec.of_int_list [ 2; 1; 1; 7 ]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "two edges labeled 1 is not a valid path"
+
+(* Theorem 1 on concrete programs: L is injective on all dynamic instances
+   and maps execution order to lexicographic order. *)
+let check_theorem1 prog params =
+  let layout = Layout.of_program prog in
+  let insts = Meval.enumerate prog ~params in
+  let vectors = List.map (fun (l, it) -> Layout.instance_vector layout l it) insts in
+  (* order preservation: enumeration order is execution order *)
+  let rec adjacent = function
+    | a :: (b :: _ as rest) ->
+        if Vec.lex_compare a b >= 0 then Alcotest.fail "L not strictly order-preserving";
+        adjacent rest
+    | _ -> ()
+  in
+  adjacent vectors;
+  (* injectivity is implied by strict ordering, but check the full set too *)
+  let sorted = List.sort_uniq Vec.lex_compare vectors in
+  Alcotest.(check int) "injective" (List.length vectors) (List.length sorted);
+  (* and Definition 2's order agrees with the lexicographic order *)
+  let arr = Array.of_list insts in
+  let n = Array.length arr in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let la, ia = arr.(a) and lb, ib = arr.(b) in
+      let o = Order.compare layout (Order.make la ia) (Order.make lb ib) in
+      Alcotest.(check int) "Def2 matches execution order" (compare a b) o
+    done
+  done
+
+(* Theorem 1 does not depend on the padding choice: the deciding position
+   between two instances (a common-loop label or an edge) always precedes
+   any padded coordinate in the layout order. *)
+let check_theorem1_zero prog params =
+  let layout = Layout.of_program ~padding:Layout.Zero prog in
+  let insts = Meval.enumerate prog ~params in
+  let vectors = List.map (fun (l, it) -> Layout.instance_vector layout l it) insts in
+  let rec adjacent = function
+    | a :: (b :: _ as rest) ->
+        if Vec.lex_compare a b >= 0 then Alcotest.fail "zero padding broke order preservation";
+        adjacent rest
+    | _ -> ()
+  in
+  adjacent vectors
+
+let test_theorem1_zero_padding () =
+  check_theorem1_zero fig1 [ ("N", 4) ];
+  check_theorem1_zero cholesky [ ("N", 5) ];
+  check_theorem1_zero (Parser.parse_exn full_cholesky_src) [ ("N", 4) ]
+
+let test_theorem1_fig1 () = check_theorem1 fig1 [ ("N", 4) ]
+let test_theorem1_cholesky () = check_theorem1 cholesky [ ("N", 5) ]
+let test_theorem1_full_cholesky () =
+  check_theorem1 (Parser.parse_exn full_cholesky_src) [ ("N", 4) ]
+
+(* Property: theorem 1 holds on random imperfect nests. *)
+let gen_program : Ast.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  (* A random 2-3 level nest with statements sprinkled at every level. *)
+  let* shape = int_range 0 7 in
+  let* lo2 = int_range 0 1 in
+  let inner_lo = if lo2 = 0 then "I" else "1" in
+  let body_j =
+    "  do J = " ^ inner_lo ^ "..N\n   S2: A(I,J) = 1\n"
+    ^ (if shape land 1 = 1 then "   S3: B(J) = 2\n" else "")
+    ^ "  enddo\n"
+  in
+  let src =
+    "params N\ndo I = 1..N\n"
+    ^ (if shape land 2 = 2 then " S1: C(I) = 0\n" else "")
+    ^ body_j
+    ^ (if shape land 4 = 4 then " S4: D(I) = 3\n" else "")
+    ^ "enddo\n"
+  in
+  return (Parser.parse_exn src)
+
+let theorem1_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Theorem 1 on random nests" ~count:50 gen_program (fun prog ->
+         check_theorem1 prog [ ("N", 4) ];
+         true))
+
+let () =
+  Alcotest.run "instance"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parse_shape;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "bracket syntax" `Quick test_bracket_syntax;
+          Alcotest.test_case "rhs resolution" `Quick test_rhs_resolution;
+          Alcotest.test_case "dialect features" `Quick test_parser_dialect;
+          Alcotest.test_case "validation rejections" `Quick test_validation_rejections;
+        ] );
+      ("meval", [ Alcotest.test_case "enumerate order" `Quick test_enumerate_order ]);
+      ( "layout",
+        [
+          Alcotest.test_case "simplified Cholesky (Section 3)" `Quick test_cholesky_layout;
+          Alcotest.test_case "zero padding ablation" `Quick test_zero_padding_ablation;
+          Alcotest.test_case "single-edge optimization (Fig 3)" `Quick test_single_edge_optimization;
+          Alcotest.test_case "full Cholesky (Section 6)" `Quick test_full_cholesky_layout;
+        ] );
+      ( "theorem1",
+        [
+          Alcotest.test_case "L inverse (Definition 5)" `Quick test_l_inverse;
+          Alcotest.test_case "Figure 1 program" `Quick test_theorem1_fig1;
+          Alcotest.test_case "simplified Cholesky" `Quick test_theorem1_cholesky;
+          Alcotest.test_case "full Cholesky" `Quick test_theorem1_full_cholesky;
+          Alcotest.test_case "zero padding preserves order too" `Quick test_theorem1_zero_padding;
+          theorem1_prop;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+(* Tests for exact linear algebra: vectors, matrices, Gaussian elimination,
+   Hermite normal form.  Property tests exercise random small integer
+   matrices and validate algebraic identities exactly. *)
+
+module Mpz = Inl_num.Mpz
+module Q = Inl_num.Q
+module Vec = Inl_linalg.Vec
+module Mat = Inl_linalg.Mat
+module Gauss = Inl_linalg.Gauss
+module Hermite = Inl_linalg.Hermite
+
+let vec_t = Alcotest.testable Vec.pp Vec.equal
+let mat_t = Alcotest.testable Mat.pp Mat.equal
+let mpz_t = Alcotest.testable Mpz.pp Mpz.equal
+
+(* ---- Vec ---- *)
+
+let test_vec_basics () =
+  let v = Vec.of_int_list [ 0; 0; 3; -1 ] in
+  Alcotest.(check (option int)) "height" (Some 2) (Vec.height v);
+  Alcotest.(check bool) "lex positive" true (Vec.lex_positive v);
+  Alcotest.(check bool) "lex positive neg" false (Vec.lex_positive (Vec.neg v));
+  Alcotest.(check bool) "zero nonneg" true (Vec.lex_nonnegative (Vec.zero 3));
+  Alcotest.(check bool) "zero not pos" false (Vec.lex_positive (Vec.zero 3));
+  Alcotest.(check mpz_t) "dot" (Mpz.of_int (-7))
+    (Vec.dot (Vec.of_int_list [ 1; 2; 3 ]) (Vec.of_int_list [ 2; 0; -3 ]));
+  Alcotest.(check vec_t) "project" (Vec.of_int_list [ 3; 0 ])
+    (Vec.project v [ 2; 0 ]);
+  Alcotest.(check mpz_t) "gcd" (Mpz.of_int 4) (Vec.gcd (Vec.of_int_list [ 8; -12; 4 ]))
+
+let test_lex_compare () =
+  let a = Vec.of_int_list [ 1; 0; 0 ] and b = Vec.of_int_list [ 0; 9; 9 ] in
+  Alcotest.(check bool) "a > b" true (Vec.lex_compare a b > 0);
+  Alcotest.(check bool) "b < a" true (Vec.lex_compare b a < 0);
+  Alcotest.(check int) "eq" 0 (Vec.lex_compare a (Vec.copy a))
+
+(* ---- Mat ---- *)
+
+let test_mat_mul () =
+  let a = Mat.of_int_lists [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = Mat.of_int_lists [ [ 0; 1 ]; [ 1; 0 ] ] in
+  Alcotest.(check mat_t) "a*b" (Mat.of_int_lists [ [ 2; 1 ]; [ 4; 3 ] ]) (Mat.mul a b);
+  Alcotest.(check mat_t) "id*a" a (Mat.mul (Mat.identity 2) a);
+  Alcotest.(check vec_t) "apply" (Vec.of_int_list [ 5; 11 ])
+    (Mat.apply a (Vec.of_int_list [ 1; 2 ]))
+
+let test_permutation () =
+  Alcotest.(check bool) "identity is perm" true (Mat.is_permutation (Mat.identity 4));
+  Alcotest.(check bool) "swap is perm" true (Mat.is_permutation (Mat.swap_rows_matrix 4 0 3));
+  let not_perm = Mat.of_int_lists [ [ 1; 1 ]; [ 0; 0 ] ] in
+  Alcotest.(check bool) "not perm" false (Mat.is_permutation not_perm);
+  (* permutation_of_list moves index i to p_i *)
+  let p = Mat.permutation_of_list [ 2; 0; 1 ] in
+  Alcotest.(check vec_t) "perm apply" (Vec.of_int_list [ 20; 30; 10 ])
+    (Mat.apply p (Vec.of_int_list [ 10; 20; 30 ]))
+
+(* Paper, Section 4.1: interchanging the I and J loops of simplified
+   Cholesky permutes instance-vector positions 0 and 3. *)
+let test_paper_interchange_matrix () =
+  let m = Mat.swap_rows_matrix 4 0 3 in
+  let s1 i = Vec.of_int_list [ i; 0; 1; i ] in
+  let s2 i j = Vec.of_int_list [ i; 1; 0; j ] in
+  (* S1 instance vectors are coincidentally fixed *)
+  Alcotest.(check vec_t) "S1 fixed" (s1 5) (Mat.apply m (s1 5));
+  Alcotest.(check vec_t) "S2 swapped" (Vec.of_int_list [ 7; 1; 0; 2 ]) (Mat.apply m (s2 2 7))
+
+(* ---- Gauss ---- *)
+
+let test_rank () =
+  Alcotest.(check int) "full" 2 (Gauss.rank (Mat.of_int_lists [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.(check int) "deficient" 1 (Gauss.rank (Mat.of_int_lists [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.(check int) "zero" 0 (Gauss.rank (Mat.make 3 3));
+  Alcotest.(check int) "wide" 2 (Gauss.rank (Mat.of_int_lists [ [ 1; 0; 1 ]; [ 0; 1; 1 ] ]))
+
+let test_determinant () =
+  Alcotest.(check mpz_t) "2x2" (Mpz.of_int (-2)) (Gauss.determinant (Mat.of_int_lists [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.(check mpz_t) "singular" Mpz.zero (Gauss.determinant (Mat.of_int_lists [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.(check mpz_t) "id" Mpz.one (Gauss.determinant (Mat.identity 5))
+
+let test_inverse () =
+  let m = Mat.of_int_lists [ [ 1; -1 ]; [ 0; 1 ] ] in
+  (match Gauss.inverse m with
+  | None -> Alcotest.fail "expected invertible"
+  | Some inv ->
+      let prod = Gauss.apply_q inv [| Q.of_int 3; Q.of_int 4 |] in
+      Alcotest.(check bool) "inv apply" true (Q.equal prod.(0) (Q.of_int 7) && Q.equal prod.(1) (Q.of_int 4)));
+  Alcotest.(check bool) "singular has no inverse" true
+    (Gauss.inverse (Mat.of_int_lists [ [ 1; 2 ]; [ 2; 4 ] ]) = None)
+
+let test_nullspace () =
+  let m = Mat.of_int_lists [ [ 1; 1; 0 ]; [ 0; 0; 1 ] ] in
+  let ns = Gauss.nullspace m in
+  Alcotest.(check int) "dim" 1 (List.length ns);
+  List.iter
+    (fun v -> Alcotest.(check bool) "in kernel" true (Vec.is_zero (Mat.apply m v)))
+    ns;
+  Alcotest.(check (list vec_t)) "full rank kernel empty" [] (Gauss.nullspace (Mat.identity 3))
+
+let test_solve () =
+  let m = Mat.of_int_lists [ [ 2; 0 ]; [ 0; 4 ] ] in
+  (match Gauss.solve m (Vec.of_int_list [ 3; 2 ]) with
+  | None -> Alcotest.fail "solvable"
+  | Some x ->
+      Alcotest.(check bool) "x0=3/2" true (Q.equal x.(0) (Q.of_ints 3 2));
+      Alcotest.(check bool) "x1=1/2" true (Q.equal x.(1) (Q.of_ints 1 2)));
+  let inconsistent = Mat.of_int_lists [ [ 1; 1 ]; [ 1; 1 ] ] in
+  Alcotest.(check bool) "inconsistent" true (Gauss.solve inconsistent (Vec.of_int_list [ 0; 1 ]) = None)
+
+let test_row_dependency () =
+  let m = Mat.of_int_lists [ [ 1; 0 ]; [ 0; 1 ]; [ 2; 3 ] ] in
+  (match Gauss.row_dependency m 2 with
+  | None -> Alcotest.fail "row 2 depends on rows 0,1"
+  | Some c ->
+      Alcotest.(check bool) "coeffs" true (Q.equal c.(0) (Q.of_int 2) && Q.equal c.(1) (Q.of_int 3)));
+  Alcotest.(check bool) "independent row" true (Gauss.row_dependency m 1 = None);
+  Alcotest.(check (list int)) "independent indices" [ 0; 1 ] (Gauss.independent_row_indices m)
+
+(* ---- Hermite ---- *)
+
+let test_hermite () =
+  let check_hnf a =
+    let h, u = Hermite.decompose a in
+    Alcotest.(check mat_t) "A*U = H" h (Mat.mul a u);
+    Alcotest.(check bool) "U unimodular" true (Gauss.is_unimodular u);
+    let n = Mat.rows h in
+    for i = 0 to n - 1 do
+      Alcotest.(check bool) "positive diagonal" true (Mpz.is_positive (Mat.get h i i));
+      for j = i + 1 to n - 1 do
+        Alcotest.(check mpz_t) "upper zero" Mpz.zero (Mat.get h i j)
+      done;
+      for j = 0 to i - 1 do
+        let x = Mat.get h i j in
+        Alcotest.(check bool) "reduced" true
+          (Mpz.sign x >= 0 && Mpz.compare x (Mat.get h i i) < 0)
+      done
+    done
+  in
+  check_hnf (Mat.of_int_lists [ [ 2; 1 ]; [ 0; 3 ] ]);
+  check_hnf (Mat.of_int_lists [ [ 1; -1 ]; [ 0; 1 ] ]);
+  check_hnf (Mat.of_int_lists [ [ 4; 6 ]; [ 2; 5 ] ]);
+  check_hnf (Mat.of_int_lists [ [ 3; 0; 0 ]; [ 1; 2; 0 ]; [ 0; 5; 7 ] ])
+
+let test_completion () =
+  let rows = [ Vec.of_int_list [ 1; 1; 0 ] ] in
+  let m = Hermite.completion rows 3 in
+  Alcotest.(check int) "square" 3 (Mat.rows m);
+  Alcotest.(check bool) "nonsingular" true (Gauss.is_nonsingular m);
+  Alcotest.(check vec_t) "first row kept" (List.hd rows) (Mat.row m 0);
+  Alcotest.check_raises "dependent rows rejected"
+    (Invalid_argument "Hermite.completion: rows are dependent") (fun () ->
+      ignore (Hermite.completion [ Vec.of_int_list [ 1; 0 ]; Vec.of_int_list [ 2; 0 ] ] 2))
+
+(* ---- properties ---- *)
+
+let gen_mat n lo hi =
+  QCheck2.Gen.(array_size (return (n * n)) (int_range lo hi))
+  |> QCheck2.Gen.map (fun a ->
+         Mat.of_int_lists (List.init n (fun i -> List.init n (fun j -> a.((i * n) + j)))))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:200 gen f)
+
+let props =
+  [
+    prop "det(AB) = det A det B" (QCheck2.Gen.pair (gen_mat 3 (-4) 4) (gen_mat 3 (-4) 4))
+      (fun (a, b) ->
+        Mpz.equal (Gauss.determinant (Mat.mul a b)) (Mpz.mul (Gauss.determinant a) (Gauss.determinant b)));
+    prop "inverse really inverts" (gen_mat 3 (-5) 5) (fun a ->
+        match Gauss.inverse a with
+        | None -> Mpz.is_zero (Gauss.determinant a)
+        | Some inv ->
+            let v = [| Q.of_int 1; Q.of_int (-2); Q.of_int 3 |] in
+            let back =
+              Gauss.apply_q (Gauss.of_mat a) (Gauss.apply_q inv v)
+            in
+            Array.for_all2 Q.equal back v);
+    prop "nullspace vectors are in the kernel" (gen_mat 3 (-3) 3) (fun a ->
+        List.for_all (fun v -> Vec.is_zero (Mat.apply a v)) (Gauss.nullspace a)
+        && Gauss.rank a + List.length (Gauss.nullspace a) = 3);
+    prop "hermite invariants" (gen_mat 3 (-6) 6) (fun a ->
+        if not (Gauss.is_nonsingular a) then true
+        else begin
+          let h, u = Hermite.decompose a in
+          Mat.equal h (Mat.mul a u)
+          && Gauss.is_unimodular u
+          &&
+          let ok = ref true in
+          for i = 0 to 2 do
+            if not (Mpz.is_positive (Mat.get h i i)) then ok := false;
+            for j = i + 1 to 2 do
+              if not (Mpz.is_zero (Mat.get h i j)) then ok := false
+            done
+          done;
+          !ok
+        end);
+    prop "rank of transpose equals rank" (gen_mat 4 (-3) 3) (fun a ->
+        Gauss.rank a = Gauss.rank (Mat.transpose a));
+    prop "permutation matrices are unimodular" (QCheck2.Gen.int_range 0 23) (fun seed ->
+        (* derive a permutation of 0..3 from the seed *)
+        let l = ref [ 0; 1; 2; 3 ] in
+        let perm = ref [] in
+        let s = ref seed in
+        for k = 4 downto 1 do
+          let i = !s mod k in
+          s := !s / k;
+          perm := List.nth !l i :: !perm;
+          l := List.filter (fun x -> x <> List.nth !l i) !l
+        done;
+        let m = Mat.permutation_of_list !perm in
+        Mat.is_permutation m && Gauss.is_unimodular m);
+  ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "lex compare" `Quick test_lex_compare;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul/apply" `Quick test_mat_mul;
+          Alcotest.test_case "permutations" `Quick test_permutation;
+          Alcotest.test_case "paper 4.1 interchange" `Quick test_paper_interchange_matrix;
+        ] );
+      ( "gauss",
+        [
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "determinant" `Quick test_determinant;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "nullspace" `Quick test_nullspace;
+          Alcotest.test_case "solve" `Quick test_solve;
+          Alcotest.test_case "row dependency" `Quick test_row_dependency;
+        ] );
+      ( "hermite",
+        [
+          Alcotest.test_case "decompose" `Quick test_hermite;
+          Alcotest.test_case "completion" `Quick test_completion;
+        ] );
+      ("properties", props);
+    ]

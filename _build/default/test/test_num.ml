@@ -1,0 +1,206 @@
+(* Unit and property tests for the bignum substrate (Mpz, Q).
+
+   The property tests check Mpz arithmetic against native-int arithmetic on
+   operands small enough that the native computation cannot overflow, plus
+   targeted unit tests at the native-int boundaries. *)
+
+module Mpz = Inl_num.Mpz
+module Q = Inl_num.Q
+
+let z = Mpz.of_int
+let mpz_testable = Alcotest.testable Mpz.pp Mpz.equal
+let q_testable = Alcotest.testable Q.pp Q.equal
+
+(* ---- unit tests ---- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Mpz.to_int (z n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 31; -(1 lsl 31) ]
+
+let test_to_string () =
+  Alcotest.(check string) "zero" "0" (Mpz.to_string Mpz.zero);
+  Alcotest.(check string) "neg" "-12345" (Mpz.to_string (z (-12345)));
+  Alcotest.(check string) "max_int" (string_of_int max_int) (Mpz.to_string (z max_int));
+  Alcotest.(check string) "min_int" (string_of_int min_int) (Mpz.to_string (z min_int))
+
+let test_of_string () =
+  Alcotest.(check mpz_testable) "roundtrip" (z 987654321) (Mpz.of_string "987654321");
+  Alcotest.(check mpz_testable) "neg" (z (-17)) (Mpz.of_string "-17");
+  Alcotest.(check mpz_testable) "plus" (z 17) (Mpz.of_string "+17");
+  let big = "123456789012345678901234567890" in
+  Alcotest.(check string) "big roundtrip" big (Mpz.to_string (Mpz.of_string big));
+  Alcotest.check_raises "empty" (Invalid_argument "Mpz.of_string: empty string") (fun () ->
+      ignore (Mpz.of_string ""));
+  Alcotest.check_raises "junk" (Invalid_argument "Mpz.of_string: bad digit") (fun () ->
+      ignore (Mpz.of_string "12x"))
+
+let test_big_arithmetic () =
+  (* (2^200 + 1) - 2^200 = 1; 2^100 * 2^100 = 2^200 *)
+  let p100 = Mpz.pow Mpz.two 100 in
+  let p200 = Mpz.pow Mpz.two 200 in
+  Alcotest.(check mpz_testable) "mul pow" p200 (Mpz.mul p100 p100);
+  Alcotest.(check mpz_testable) "sub" Mpz.one (Mpz.sub (Mpz.succ p200) p200);
+  let q, r = Mpz.divmod p200 p100 in
+  Alcotest.(check mpz_testable) "div quotient" p100 q;
+  Alcotest.(check mpz_testable) "div remainder" Mpz.zero r;
+  let q, r = Mpz.divmod (Mpz.succ p200) p100 in
+  Alcotest.(check mpz_testable) "div q2" p100 q;
+  Alcotest.(check mpz_testable) "div r2" Mpz.one r
+
+let test_divmod_signs () =
+  (* truncated semantics: remainder has the sign of the dividend *)
+  let check a b eq er =
+    let q, r = Mpz.divmod (z a) (z b) in
+    Alcotest.(check mpz_testable) (Printf.sprintf "%d/%d q" a b) (z eq) q;
+    Alcotest.(check mpz_testable) (Printf.sprintf "%d/%d r" a b) (z er) r
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-3) (-1);
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 3 (-1)
+
+let test_floor_ceil_div () =
+  let check a b fq cq =
+    Alcotest.(check mpz_testable) (Printf.sprintf "fdiv %d %d" a b) (z fq) (Mpz.fdiv (z a) (z b));
+    Alcotest.(check mpz_testable) (Printf.sprintf "cdiv %d %d" a b) (z cq) (Mpz.cdiv (z a) (z b))
+  in
+  check 7 2 3 4;
+  check (-7) 2 (-4) (-3);
+  check 6 2 3 3;
+  check (-6) 2 (-3) (-3);
+  check 7 (-2) (-4) (-3);
+  check (-7) (-2) 3 4
+
+let test_gcd_lcm () =
+  Alcotest.(check mpz_testable) "gcd" (z 6) (Mpz.gcd (z 12) (z (-18)));
+  Alcotest.(check mpz_testable) "gcd 0" (z 5) (Mpz.gcd (z 0) (z 5));
+  Alcotest.(check mpz_testable) "gcd 0 0" Mpz.zero (Mpz.gcd Mpz.zero Mpz.zero);
+  Alcotest.(check mpz_testable) "lcm" (z 36) (Mpz.lcm (z 12) (z (-18)));
+  Alcotest.(check mpz_testable) "lcm 0" Mpz.zero (Mpz.lcm Mpz.zero (z 7))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "divmod" Division_by_zero (fun () -> ignore (Mpz.divmod Mpz.one Mpz.zero));
+  Alcotest.check_raises "q make" Division_by_zero (fun () -> ignore (Q.make Mpz.one Mpz.zero))
+
+let test_q_canonical () =
+  Alcotest.(check q_testable) "reduce" (Q.of_ints 2 3) (Q.of_ints (-4) (-6));
+  Alcotest.(check q_testable) "sign moves" (Q.of_ints (-2) 3) (Q.of_ints 2 (-3));
+  Alcotest.(check bool) "integer" true (Q.is_integer (Q.of_ints 8 4));
+  Alcotest.(check mpz_testable) "to_mpz" (z 2) (Q.to_mpz_exn (Q.of_ints 8 4))
+
+let test_q_floor_ceil () =
+  Alcotest.(check mpz_testable) "floor 7/2" (z 3) (Q.floor (Q.of_ints 7 2));
+  Alcotest.(check mpz_testable) "ceil 7/2" (z 4) (Q.ceil (Q.of_ints 7 2));
+  Alcotest.(check mpz_testable) "floor -7/2" (z (-4)) (Q.floor (Q.of_ints (-7) 2));
+  Alcotest.(check mpz_testable) "ceil -7/2" (z (-3)) (Q.ceil (Q.of_ints (-7) 2))
+
+(* ---- property tests against native ints ---- *)
+
+let small = QCheck2.Gen.int_range (-1_000_000) 1_000_000
+let pair2 = QCheck2.Gen.pair small small
+
+let prop name ?(count = 500) gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let props =
+  [
+    prop "add matches int" pair2 (fun (a, b) -> Mpz.to_int (Mpz.add (z a) (z b)) = a + b);
+    prop "sub matches int" pair2 (fun (a, b) -> Mpz.to_int (Mpz.sub (z a) (z b)) = a - b);
+    prop "mul matches int" pair2 (fun (a, b) -> Mpz.to_int (Mpz.mul (z a) (z b)) = a * b);
+    prop "compare matches int" pair2 (fun (a, b) -> Mpz.compare (z a) (z b) = compare a b);
+    prop "divmod matches int" pair2 (fun (a, b) ->
+        b = 0
+        ||
+        let q, r = Mpz.divmod (z a) (z b) in
+        Mpz.to_int q = a / b && Mpz.to_int r = a mod b);
+    prop "string roundtrip" small (fun a -> Mpz.equal (z a) (Mpz.of_string (Mpz.to_string (z a))));
+    prop "gcd divides both" pair2 (fun (a, b) ->
+        let g = Mpz.gcd (z a) (z b) in
+        if Mpz.is_zero g then a = 0 && b = 0
+        else a mod Mpz.to_int g = 0 && b mod Mpz.to_int g = 0);
+    prop "fdiv/cdiv defining inequalities" pair2 (fun (a, b) ->
+        b = 0
+        ||
+        (* floor: remainder a - q*b lies in [0,b) for b>0 and (b,0] for b<0 *)
+        let rf = a - (Mpz.to_int (Mpz.fdiv (z a) (z b)) * b) in
+        let rc = a - (Mpz.to_int (Mpz.cdiv (z a) (z b)) * b) in
+        let floor_ok = if b > 0 then 0 <= rf && rf < b else b < rf && rf <= 0 in
+        let ceil_ok = if b > 0 then -b < rc && rc <= 0 else 0 <= rc && rc < -b in
+        floor_ok && ceil_ok
+        && Mpz.to_int (Mpz.fmod (z a) (z b)) = rf);
+    prop "big mul associativity" (QCheck2.Gen.triple small small small) (fun (a, b, c) ->
+        let x = Mpz.mul (Mpz.mul (z a) (z b)) (z c) in
+        let y = Mpz.mul (z a) (Mpz.mul (z b) (z c)) in
+        Mpz.equal x y);
+    prop "q field laws" (QCheck2.Gen.quad small small small small) (fun (a, b, c, d) ->
+        b = 0 || d = 0
+        ||
+        let x = Q.of_ints a b and y = Q.of_ints c d in
+        Q.equal (Q.add x y) (Q.add y x)
+        && Q.equal (Q.sub (Q.add x y) y) x
+        && (Q.is_zero y || Q.equal (Q.mul (Q.div x y) y) x));
+    prop "q compare antisym" (QCheck2.Gen.quad small small small small) (fun (a, b, c, d) ->
+        b = 0 || d = 0
+        ||
+        let x = Q.of_ints a b and y = Q.of_ints c d in
+        Q.compare x y = -Q.compare y x);
+  ]
+
+(* big-operand division: reconstruct a = q*b + r with |r| < |b| on
+   random ~200-bit operands built from native pieces *)
+let gen_big =
+  let open QCheck2.Gen in
+  let* chunks = list_size (return 4) (int_range 0 max_int) in
+  let* sign = bool in
+  let v =
+    List.fold_left (fun acc c -> Mpz.add (Mpz.mul acc (z max_int)) (z c)) Mpz.one chunks
+  in
+  return (if sign then Mpz.neg v else v)
+
+let big_props =
+  [
+    prop "big divmod reconstructs" ~count:200 (QCheck2.Gen.pair gen_big gen_big) (fun (a, b) ->
+        Mpz.is_zero b
+        ||
+        let q, r = Mpz.divmod a b in
+        Mpz.equal a (Mpz.add (Mpz.mul q b) r)
+        && Mpz.compare (Mpz.abs r) (Mpz.abs b) < 0
+        && (Mpz.is_zero r || Mpz.sign r = Mpz.sign a));
+    prop "big gcd divides and is maximal-ish" ~count:100 (QCheck2.Gen.pair gen_big gen_big)
+      (fun (a, b) ->
+        let g = Mpz.gcd a b in
+        (not (Mpz.is_zero g))
+        && Mpz.is_zero (snd (Mpz.divmod a g))
+        && Mpz.is_zero (snd (Mpz.divmod b g)));
+    prop "big string roundtrip" ~count:100 gen_big (fun a ->
+        Mpz.equal a (Mpz.of_string (Mpz.to_string a)));
+    prop "distributivity at scale" ~count:100 (QCheck2.Gen.triple gen_big gen_big gen_big)
+      (fun (a, b, c) ->
+        Mpz.equal (Mpz.mul a (Mpz.add b c)) (Mpz.add (Mpz.mul a b) (Mpz.mul a c)));
+    prop "pow matches repeated mul" ~count:50 (QCheck2.Gen.int_range 0 40) (fun n ->
+        let rec go acc k = if k = 0 then acc else go (Mpz.mul acc (z 3)) (k - 1) in
+        Mpz.equal (Mpz.pow (z 3) n) (go Mpz.one n));
+  ]
+
+let () =
+  Alcotest.run "num"
+    [
+      ( "mpz",
+        [
+          Alcotest.test_case "of_int/to_int roundtrip" `Quick test_of_to_int;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "big arithmetic" `Quick test_big_arithmetic;
+          Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+          Alcotest.test_case "floor/ceil division" `Quick test_floor_ceil_div;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+        ] );
+      ( "q",
+        [
+          Alcotest.test_case "canonical form" `Quick test_q_canonical;
+          Alcotest.test_case "floor/ceil" `Quick test_q_floor_ceil;
+        ] );
+      ("properties", props);
+      ("big operands", big_props);
+    ]

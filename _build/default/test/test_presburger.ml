@@ -1,0 +1,317 @@
+(* Tests for the integer linear programming engine.
+
+   The load-bearing tests here are differential: on random small systems
+   confined to a box, [Omega.satisfiable], [Omega.project] and
+   [Omega.implied_interval] must agree exactly with brute-force
+   enumeration.  This exercises the unit-coefficient substitution path,
+   Pugh's mod-hat equality reduction, and the dark-shadow/splinter
+   inequality elimination. *)
+
+module Mpz = Inl_num.Mpz
+module Linexpr = Inl_presburger.Linexpr
+module Constr = Inl_presburger.Constr
+module System = Inl_presburger.System
+module Omega = Inl_presburger.Omega
+module Interval = Inl_presburger.Interval
+
+let le = Linexpr.of_terms
+let interval_t = Alcotest.testable Interval.pp Interval.equal
+
+(* ---- Linexpr unit tests ---- *)
+
+let test_linexpr_algebra () =
+  let e = le [ (2, "x"); (-1, "y") ] 3 in
+  Alcotest.(check int) "coeff x" 2 (Mpz.to_int (Linexpr.coeff e "x"));
+  Alcotest.(check int) "coeff z" 0 (Mpz.to_int (Linexpr.coeff e "z"));
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (Linexpr.vars e);
+  let e2 = Linexpr.add e (le [ (-2, "x") ] 0) in
+  Alcotest.(check bool) "cancel" true (not (Linexpr.mem e2 "x"));
+  let s = Linexpr.subst e "x" (le [ (1, "y") ] 1) in
+  (* 2(y+1) - y + 3 = y + 5 *)
+  Alcotest.(check bool) "subst" true (Linexpr.equal s (le [ (1, "y") ] 5));
+  let v = Linexpr.eval e (fun x -> if x = "x" then Mpz.of_int 4 else Mpz.of_int 1) in
+  Alcotest.(check int) "eval" 10 (Mpz.to_int v)
+
+let test_constr_normalize () =
+  (* 2x - 1 >= 0 tightens to x - 1 >= 0 *)
+  (match Constr.normalize (Constr.ge (le [ (2, "x") ] (-1))) with
+  | `Constr c -> Alcotest.(check bool) "tighten" true (Constr.equal c (Constr.ge (le [ (1, "x") ] (-1))))
+  | _ -> Alcotest.fail "expected constraint");
+  (* 2x = 1 is infeasible *)
+  (match Constr.normalize (Constr.eq (le [ (2, "x") ] (-1))) with
+  | `False -> ()
+  | _ -> Alcotest.fail "expected False");
+  (match Constr.normalize (Constr.ge (Linexpr.of_int 0)) with
+  | `True -> ()
+  | _ -> Alcotest.fail "expected True");
+  match Constr.normalize (Constr.eq (Linexpr.of_int 1)) with
+  | `False -> ()
+  | _ -> Alcotest.fail "expected False"
+
+(* ---- targeted Omega unit tests ---- *)
+
+let test_simple_sat () =
+  let sys = System.of_list [ Constr.ge2 (Linexpr.var "x") (Linexpr.of_int 1); Constr.le2 (Linexpr.var "x") (Linexpr.of_int 10) ] in
+  Alcotest.(check bool) "sat" true (Omega.satisfiable sys);
+  let sys2 = System.add (Constr.ge2 (Linexpr.var "x") (Linexpr.of_int 11)) sys in
+  Alcotest.(check bool) "unsat" false (Omega.satisfiable sys2)
+
+let test_parity_unsat () =
+  (* x even and x odd: 2a = x, 2b = x - 1 *)
+  let sys =
+    System.of_list
+      [
+        Constr.eq (le [ (2, "a"); (-1, "x") ] 0);
+        Constr.eq (le [ (2, "b"); (-1, "x") ] 1);
+      ]
+  in
+  Alcotest.(check bool) "even+odd unsat" false (Omega.satisfiable sys)
+
+let test_dark_shadow_gap () =
+  (* 3x >= 2 and 3x <= 3  =>  x = 1 exists.
+     3x >= 4 and 3x <= 5  =>  no integer x (rational shadow nonempty). *)
+  let mk lo hi =
+    System.of_list [ Constr.ge (le [ (3, "x") ] (-lo)); Constr.le (le [ (3, "x") ] (-hi)) ]
+  in
+  Alcotest.(check bool) "3x in [2,3] sat" true (Omega.satisfiable (mk 2 3));
+  Alcotest.(check bool) "3x in [4,5] unsat" false (Omega.satisfiable (mk 4 5))
+
+let test_nonunit_equality () =
+  (* 7x + 12y = 17 has integer solutions (x = -1, y = 2). *)
+  let sys = System.of_list [ Constr.eq (le [ (7, "x"); (12, "y") ] (-17)) ] in
+  Alcotest.(check bool) "7x+12y=17 sat" true (Omega.satisfiable sys);
+  (* 6x + 9y = 5: gcd 3 does not divide 5. *)
+  let sys2 = System.of_list [ Constr.eq (le [ (6, "x"); (9, "y") ] (-5)) ] in
+  Alcotest.(check bool) "6x+9y=5 unsat" false (Omega.satisfiable sys2)
+
+let test_implied_interval_basic () =
+  let sys =
+    System.of_list
+      [
+        Constr.ge2 (Linexpr.var "x") (Linexpr.of_int 2);
+        Constr.le2 (Linexpr.var "x") (Linexpr.of_int 9);
+        Constr.eq2 (Linexpr.var "y") (le [ (2, "x") ] 1);
+      ]
+  in
+  Alcotest.(check interval_t) "x in [2,9]" (Interval.of_ints 2 9) (Omega.implied_interval sys "x");
+  Alcotest.(check interval_t) "y in [5,19]" (Interval.of_ints 5 19) (Omega.implied_interval sys "y")
+
+(* Paper Section 3: the flow-dependence system of simplified Cholesky.
+   Constraints (Equation 2) plus Delta definitions (Equation 3); the
+   projection must give Delta1 = 0 and Delta2 = "+". *)
+let test_paper_cholesky_deltas () =
+  let v = Linexpr.var in
+  let sys =
+    System.of_list
+      [
+        Constr.ge2 (v "Ir") (Linexpr.of_int 1);
+        Constr.le2 (v "Ir") (v "N");
+        Constr.gt2 (v "Jr") (v "Ir");
+        Constr.le2 (v "Jr") (v "N");
+        Constr.ge2 (v "Iw") (Linexpr.of_int 1);
+        Constr.le2 (v "Iw") (v "N");
+        Constr.le2 (v "Iw") (v "Ir");
+        Constr.eq2 (v "Ir") (v "Iw");
+        Constr.eq2 (v "D1") (Linexpr.sub (v "Ir") (v "Iw"));
+        Constr.eq2 (v "D2") (Linexpr.sub (v "Jr") (v "Iw"));
+      ]
+  in
+  Alcotest.(check interval_t) "Delta1 = 0" Interval.zero (Omega.implied_interval sys "D1");
+  Alcotest.(check interval_t) "Delta2 = +" Interval.plus (Omega.implied_interval sys "D2")
+
+(* Projection onto a kept variable can require a mod constraint, which the
+   output carries via an existential wildcard: -x + 3y + 2 = 0 with y
+   eliminated means x = 2 (mod 3).  The interval machinery must still be
+   exact (probing path). *)
+let test_mod_constraint_projection () =
+  let sys =
+    System.of_list
+      [
+        Constr.eq (le [ (-1, "x"); (3, "y") ] 2);
+        Constr.ge2 (Linexpr.var "x") (Linexpr.of_int (-5));
+        Constr.le2 (Linexpr.var "x") (Linexpr.of_int 5);
+        Constr.ge2 (Linexpr.var "y") (Linexpr.of_int (-5));
+        Constr.le2 (Linexpr.var "y") (Linexpr.of_int 5);
+        Constr.le2 (Linexpr.var "x") (Linexpr.of_int (-4));
+      ]
+  in
+  (* solutions: x in {-5..-4} with x = 2 mod 3 and y = (x-2)/3 in box:
+     x = -4 (y = -2) only *)
+  Alcotest.(check interval_t) "x pinned to -4" (Interval.of_ints (-4) (-4))
+    (Omega.implied_interval sys "x");
+  let disjuncts = Omega.project sys ~keep:(fun v -> v = "x") in
+  Alcotest.(check bool) "projection non-empty" true (disjuncts <> []);
+  (* membership via satisfiability: -4 in, -5 out *)
+  let member c =
+    List.exists
+      (fun d -> Omega.satisfiable (System.add (Constr.eq2 (Linexpr.var "x") (Linexpr.of_int c)) d))
+      disjuncts
+  in
+  Alcotest.(check bool) "-4 member" true (member (-4));
+  Alcotest.(check bool) "-5 not member" false (member (-5))
+
+(* Parametric systems: the interval over all values of a free parameter. *)
+let test_parametric_interval () =
+  let sys =
+    System.of_list
+      [
+        Constr.ge2 (Linexpr.var "i") (Linexpr.of_int 1);
+        Constr.le2 (Linexpr.var "i") (Linexpr.var "N");
+        Constr.eq2 (Linexpr.var "d") (Linexpr.sub (Linexpr.var "N") (Linexpr.var "i"));
+      ]
+  in
+  (* d = N - i with 1 <= i <= N: d in [0, oo) over all N *)
+  Alcotest.(check interval_t) "d = +0"
+    Interval.{ lo = Fin Mpz.zero; hi = PosInf }
+    (Omega.implied_interval sys "d")
+
+(* Strict alternation of quantifier-free structure: systems whose only
+   integer solutions need splinters. *)
+let test_splinter_path () =
+  (* 3x in [5,7] admits x = 2; 3x in [7,8] admits nothing; the extra
+     pinned variable routes both through the non-exact pair machinery *)
+  let mk lo hi extra =
+    System.of_list
+      ([
+         Constr.ge (le [ (3, "x"); (1, "y") ] (-lo));
+         Constr.le (le [ (3, "x"); (1, "y") ] (-hi));
+         Constr.eq2 (Linexpr.var "y") (Linexpr.of_int 0);
+       ]
+      @ extra)
+  in
+  Alcotest.(check bool) "3x in [5,7] with y=0: x=2" true (Omega.satisfiable (mk 5 7 []));
+  Alcotest.(check bool) "3x in [7,8] with y=0: none" false (Omega.satisfiable (mk 7 8 []))
+
+let test_implies () =
+  let sys =
+    System.of_list
+      [ Constr.ge2 (Linexpr.var "x") (Linexpr.of_int 3); Constr.le2 (Linexpr.var "x") (Linexpr.of_int 5) ]
+  in
+  Alcotest.(check bool) "x>=1 implied" true (Omega.implies sys (Constr.ge (le [ (1, "x") ] (-1))));
+  Alcotest.(check bool) "x>=4 not implied" false (Omega.implies sys (Constr.ge (le [ (1, "x") ] (-4))));
+  Alcotest.(check bool) "unsat implies anything" true
+    (Omega.implies
+       (System.add (Constr.ge2 (Linexpr.var "x") (Linexpr.of_int 9)) sys)
+       (Constr.eq (le [ (1, "x") ] 1000)))
+
+(* ---- differential properties against brute force ---- *)
+
+let box_vars = [ "x"; "y"; "z" ]
+let box_lo = -5
+let box_hi = 5
+let box = List.map (fun v -> (v, box_lo, box_hi)) box_vars
+
+(* random constraint generator *)
+let gen_constr : Constr.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* nvars = int_range 1 3 in
+  let* coefs = list_size (return nvars) (int_range (-3) 3) in
+  let* which = list_size (return nvars) (int_range 0 2) in
+  let* const = int_range (-8) 8 in
+  let* is_eq = frequency [ (3, return false); (1, return true) ] in
+  let terms = List.map2 (fun c w -> (c, List.nth box_vars w)) coefs which in
+  let e = le terms const in
+  return (if is_eq then Constr.eq e else Constr.ge e)
+
+let gen_sys : System.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 1 5 in
+  list_size (return n) gen_constr
+
+(* Box constraints as part of the system, so the engine and brute force see
+   the same solution set. *)
+let boxed sys =
+  List.fold_left
+    (fun acc v ->
+      System.add
+        (Constr.ge2 (Linexpr.var v) (Linexpr.of_int box_lo))
+        (System.add (Constr.le2 (Linexpr.var v) (Linexpr.of_int box_hi)) acc))
+    sys box_vars
+
+let prop name ?(count = 300) gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let sols sys = System.solutions_in_box sys box
+
+module Pairset = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let props =
+  [
+    prop "satisfiable agrees with brute force" gen_sys (fun sys ->
+        let sys = boxed sys in
+        Omega.satisfiable sys = (sols sys <> []));
+    prop "implied_interval is the exact hull" gen_sys (fun sys ->
+        let sys = boxed sys in
+        let xs = List.map (fun s -> List.nth s 0) (sols sys) in
+        let got = Omega.implied_interval sys "x" in
+        match xs with
+        | [] -> Interval.is_empty got
+        | _ ->
+            let lo = List.fold_left min max_int xs and hi = List.fold_left max min_int xs in
+            Interval.equal got (Interval.of_ints lo hi));
+    prop "projection is exact" ~count:150 gen_sys (fun sys ->
+        let sys = boxed sys in
+        let expected =
+          List.fold_left
+            (fun acc s -> Pairset.add (List.nth s 0, List.nth s 1) acc)
+            Pairset.empty (sols sys)
+        in
+        let keep v = v = "x" || v = "y" in
+        let disjuncts = Omega.project sys ~keep in
+        (* every disjunct mentions only kept variables or existential
+           wildcards (which encode mod constraints) *)
+        List.for_all
+          (fun d ->
+            List.for_all
+              (fun v -> keep v || String.length v >= 2 && String.sub v 0 2 = "$w")
+              (System.vars d))
+          disjuncts
+        &&
+        (* membership via satisfiability, which quantifies the wildcards *)
+        let got = ref Pairset.empty in
+        for x0 = box_lo to box_hi do
+          for y0 = box_lo to box_hi do
+            let point =
+              [
+                Constr.eq2 (Linexpr.var "x") (Linexpr.of_int x0);
+                Constr.eq2 (Linexpr.var "y") (Linexpr.of_int y0);
+              ]
+            in
+            if List.exists (fun d -> Omega.satisfiable (System.append point d)) disjuncts then
+              got := Pairset.add (x0, y0) !got
+          done
+        done;
+        Pairset.equal expected !got);
+    prop "normalization preserves solutions" gen_sys (fun sys ->
+        let sys = boxed sys in
+        match System.normalize sys with
+        | None -> sols sys = []
+        | Some sys' -> sols sys = sols sys');
+  ]
+
+let () =
+  Alcotest.run "presburger"
+    [
+      ( "linexpr",
+        [
+          Alcotest.test_case "algebra" `Quick test_linexpr_algebra;
+          Alcotest.test_case "constraint normalize" `Quick test_constr_normalize;
+        ] );
+      ( "omega",
+        [
+          Alcotest.test_case "simple sat/unsat" `Quick test_simple_sat;
+          Alcotest.test_case "parity unsat" `Quick test_parity_unsat;
+          Alcotest.test_case "dark shadow gap" `Quick test_dark_shadow_gap;
+          Alcotest.test_case "non-unit equality (mod trick)" `Quick test_nonunit_equality;
+          Alcotest.test_case "implied intervals" `Quick test_implied_interval_basic;
+          Alcotest.test_case "paper: Cholesky deltas (Section 3)" `Quick test_paper_cholesky_deltas;
+          Alcotest.test_case "implication" `Quick test_implies;
+          Alcotest.test_case "mod-constraint projection" `Quick test_mod_constraint_projection;
+          Alcotest.test_case "parametric interval" `Quick test_parametric_interval;
+          Alcotest.test_case "splinter path" `Quick test_splinter_path;
+        ] );
+      ("differential", props);
+    ]

@@ -1,0 +1,251 @@
+(* Unit tests for the cleanup pass (Section 5.5's "standard
+   optimizations"): let inlining, guard pruning by exact implication,
+   divisibility-guard pruning, dominated bound terms — each checked both
+   structurally and for semantic preservation. *)
+
+module Mpz = Inl_num.Mpz
+module Linexpr = Inl_presburger.Linexpr
+module Ast = Inl_ir.Ast
+module Parser = Inl_ir.Parser
+module Pp = Inl_ir.Pp
+module Simplify = Inl.Simplify
+module Interp = Inl_interp.Interp
+
+let le = Linexpr.of_terms
+
+let count_nodes pred prog =
+  let n = ref 0 in
+  let rec go node =
+    if pred node then incr n;
+    match node with
+    | Ast.Stmt _ -> ()
+    | Ast.If (_, b) | Ast.Let (_, _, b) -> List.iter go b
+    | Ast.Loop l -> List.iter go l.Ast.body
+  in
+  List.iter go prog.Ast.nest;
+  !n
+
+let is_if = function Ast.If _ -> true | _ -> false
+let is_let = function Ast.Let _ -> true | _ -> false
+
+let check_semantics prog prog' =
+  List.iter
+    (fun n ->
+      match Interp.equivalent prog prog' ~params:[ ("N", n) ] with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "simplification changed semantics at N=%d: %s" n d)
+    [ 1; 3; 7 ]
+
+(* an If whose guard restates the loop bounds disappears *)
+let test_redundant_guard () =
+  let base = Parser.parse_exn "params N\ndo I = 1..N\n S: A(I) = I\nenddo" in
+  let guarded =
+    match base.Ast.nest with
+    | [ Ast.Loop l ] ->
+        {
+          base with
+          Ast.nest =
+            [
+              Ast.Loop
+                {
+                  l with
+                  Ast.body =
+                    [ Ast.If ([ Ast.Gcmp (`Ge, le [ (1, "I") ] (-1)) ], l.Ast.body) ];
+                };
+            ];
+        }
+    | _ -> assert false
+  in
+  let simplified = Simplify.simplify guarded in
+  Alcotest.(check int) "guard dropped" 0 (count_nodes is_if simplified);
+  check_semantics guarded simplified
+
+(* a guard NOT implied stays *)
+let test_live_guard_kept () =
+  let base = Parser.parse_exn "params N\ndo I = 1..N\n S: A(I) = I\nenddo" in
+  let guarded =
+    match base.Ast.nest with
+    | [ Ast.Loop l ] ->
+        {
+          base with
+          Ast.nest =
+            [
+              Ast.Loop
+                { l with Ast.body = [ Ast.If ([ Ast.Gcmp (`Ge, le [ (1, "I") ] (-3)) ], l.Ast.body) ] };
+            ];
+        }
+    | _ -> assert false
+  in
+  let simplified = Simplify.simplify guarded in
+  Alcotest.(check int) "guard kept" 1 (count_nodes is_if simplified);
+  check_semantics guarded simplified
+
+(* integral lets are substituted away; non-integral ones stay *)
+let test_let_inlining () =
+  let base = Parser.parse_exn "params N\ndo I = 1..N\n S: A(I) = I\nenddo" in
+  let wrap den =
+    match base.Ast.nest with
+    | [ Ast.Loop l ] ->
+        let body =
+          [
+            Ast.Let
+              ( "V",
+                { Ast.num = Linexpr.scale_int den (Linexpr.var "I"); den = Mpz.of_int den },
+                [ Ast.Stmt { Ast.label = "S"; lhs = { Ast.array = "A"; index = [ Linexpr.var "V" ] }; rhs = Ast.Evar "V" } ] );
+          ]
+        in
+        { base with Ast.nest = [ Ast.Loop { l with Ast.body = body } ] }
+    | _ -> assert false
+  in
+  let p1 = Simplify.simplify (wrap 1) in
+  Alcotest.(check int) "integral let inlined" 0 (count_nodes is_let p1);
+  check_semantics (wrap 1) p1;
+  (* denominator 2 with numerator 2*I is exact but non-unit: kept *)
+  let p2 = Simplify.simplify (wrap 2) in
+  Alcotest.(check int) "non-unit let kept" 1 (count_nodes is_let p2);
+  check_semantics (wrap 2) p2
+
+(* divisibility guards implied by a let equality are removed *)
+let test_divisibility_pruning () =
+  let src = "params N\ndo I = 1..N\n S: A(2*I) = I\nenddo" in
+  let base = Parser.parse_exn src in
+  let guarded =
+    match base.Ast.nest with
+    | [ Ast.Loop l ] ->
+        {
+          base with
+          Ast.nest =
+            [
+              Ast.Loop
+                {
+                  l with
+                  Ast.body =
+                    [
+                      (* 2 | 2*I always holds *)
+                      Ast.If ([ Ast.Gdiv (Mpz.two, le [ (2, "I") ] 0) ], l.Ast.body);
+                    ];
+                };
+            ];
+        }
+    | _ -> assert false
+  in
+  let simplified = Simplify.simplify guarded in
+  Alcotest.(check int) "trivial divisibility dropped" 0 (count_nodes is_if simplified);
+  (* 2 | I does not always hold: kept *)
+  let guarded2 =
+    match base.Ast.nest with
+    | [ Ast.Loop l ] ->
+        {
+          base with
+          Ast.nest =
+            [
+              Ast.Loop
+                { l with Ast.body = [ Ast.If ([ Ast.Gdiv (Mpz.two, Linexpr.var "I") ], l.Ast.body) ] };
+            ];
+        }
+    | _ -> assert false
+  in
+  let s2 = Simplify.simplify guarded2 in
+  Alcotest.(check int) "live divisibility kept" 1 (count_nodes is_if s2);
+  check_semantics guarded2 s2
+
+(* dominated bound terms vanish: max(1, 2) -> 2, min(N, N+3) -> N *)
+let test_bound_dominance () =
+  let lower : Ast.bound =
+    { Ast.combine = `Max; terms = [ Ast.bterm_int 1; Ast.bterm_int 2 ] }
+  in
+  let upper : Ast.bound =
+    {
+      Ast.combine = `Min;
+      terms = [ Ast.bterm (Linexpr.var "N"); Ast.bterm (le [ (1, "N") ] 3) ];
+    }
+  in
+  let prog =
+    {
+      Ast.params = [ "N" ];
+      nest =
+        [
+          Ast.Loop
+            {
+              Ast.var = "I";
+              lower;
+              upper;
+              step = Mpz.one;
+              body =
+                [ Ast.Stmt { Ast.label = "S"; lhs = { Ast.array = "A"; index = [ Linexpr.var "I" ] }; rhs = Ast.Econst 1. } ];
+            };
+        ];
+    }
+  in
+  let s = Simplify.simplify prog in
+  (match s.Ast.nest with
+  | [ Ast.Loop l ] ->
+      Alcotest.(check int) "single lower term" 1 (List.length l.Ast.lower.Ast.terms);
+      Alcotest.(check int) "single upper term" 1 (List.length l.Ast.upper.Ast.terms);
+      Alcotest.(check string) "lower is 2" "2"
+        (Format.asprintf "%a" Pp.pp_affine (List.hd l.Ast.lower.Ast.terms).Ast.num);
+      Alcotest.(check string) "upper is N" "N"
+        (Format.asprintf "%a" Pp.pp_affine (List.hd l.Ast.upper.Ast.terms).Ast.num)
+  | _ -> Alcotest.fail "shape");
+  check_semantics prog s
+
+(* incomparable bound terms survive *)
+let test_bound_incomparable () =
+  let upper : Ast.bound =
+    {
+      Ast.combine = `Min;
+      terms = [ Ast.bterm (Linexpr.var "N"); Ast.bterm (Linexpr.var "M") ];
+    }
+  in
+  let prog =
+    {
+      Ast.params = [ "N"; "M" ];
+      nest =
+        [
+          Ast.Loop
+            {
+              Ast.var = "I";
+              lower = { Ast.combine = `Max; terms = [ Ast.bterm_int 1 ] };
+              upper;
+              step = Mpz.one;
+              body =
+                [ Ast.Stmt { Ast.label = "S"; lhs = { Ast.array = "A"; index = [ Linexpr.var "I" ] }; rhs = Ast.Econst 1. } ];
+            };
+        ];
+    }
+  in
+  match (Simplify.simplify prog).Ast.nest with
+  | [ Ast.Loop l ] -> Alcotest.(check int) "both terms kept" 2 (List.length l.Ast.upper.Ast.terms)
+  | _ -> Alcotest.fail "shape"
+
+(* stride recovery: scaling a loop yields a strided loop, not a guard *)
+let test_stride_recovery () =
+  let ctx = Inl.analyze_source "params N\ndo I = 1..N\n S1: A(I) = 2 * I\nenddo" in
+  let m = Inl.Tmat.scaling ctx.Inl.layout "I" 3 in
+  let prog = Inl.transform_exn ctx m in
+  (match prog.Ast.nest with
+  | [ Ast.Loop l ] ->
+      Alcotest.(check int) "step 3" 3 (Mpz.to_int l.Ast.step);
+      Alcotest.(check int) "no residual guard" 0 (count_nodes is_if prog)
+  | _ -> Alcotest.fail "shape");
+  List.iter
+    (fun n ->
+      match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "N=%d: %s" n d)
+    [ 1; 4; 9 ]
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "simplify",
+        [
+          Alcotest.test_case "redundant guard dropped" `Quick test_redundant_guard;
+          Alcotest.test_case "live guard kept" `Quick test_live_guard_kept;
+          Alcotest.test_case "let inlining" `Quick test_let_inlining;
+          Alcotest.test_case "divisibility pruning" `Quick test_divisibility_pruning;
+          Alcotest.test_case "bound dominance" `Quick test_bound_dominance;
+          Alcotest.test_case "incomparable bounds kept" `Quick test_bound_incomparable;
+          Alcotest.test_case "stride recovery" `Quick test_stride_recovery;
+        ] );
+    ]
