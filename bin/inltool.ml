@@ -9,9 +9,17 @@
 
    Transformations compose left to right:
      inltool apply chol.loop --reorder 0:1,0 --interchange I,J --verify 6
-*)
+
+   Failure contract: diagnostics go to stderr as "severity[CODE] phase:
+   message" lines; the exit code is 0 (clean), 1 (error), or 2 (the
+   analysis degraded to approximate dependences but the command still
+   succeeded).  Resource budgets and fault injection are controlled by
+   --budget / INL_FM_BUDGET and --inject-faults / INL_FAULTS. *)
 
 module Interp = Inl_interp.Interp
+module Diag = Inl.Diag
+module Budget = Inl.Budget
+module Faults = Inl.Faults
 open Cmdliner
 
 let read_file path =
@@ -21,9 +29,73 @@ let read_file path =
   close_in ic;
   s
 
-let load path = Inl.analyze_source (read_file path)
+let print_diags ds = List.iter (fun d -> prerr_endline (Diag.to_string d)) ds
 
-(* ---- arguments ---- *)
+let load path = Inl.analyze_source_result (read_file path)
+
+(* ---- common arguments: resource budget and fault injection ---- *)
+
+let budget_arg =
+  let env =
+    Cmd.Env.info "INL_FM_BUDGET"
+      ~doc:"Default for the $(b,--budget) option: Fourier-Motzkin work budget per projection."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"N" ~env
+        ~doc:
+          "Fourier-Motzkin work budget: items processed per Omega projection (default \
+           $(b,500000)).  A projection that exhausts the budget degrades to a conservative \
+           approximate dependence instead of aborting; the command then exits with code 2.")
+
+let faults_arg =
+  let env =
+    Cmd.Env.info "INL_FAULTS" ~doc:"Default for the $(b,--inject-faults) option."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-faults" ] ~docv:"SPEC" ~env
+        ~doc:
+          "Fault-injection spec for robustness testing: comma-separated $(b,key=value) pairs \
+           among $(b,every=N) (fail every Nth projection), $(b,after=N) (fail all projections \
+           after the Nth) and $(b,cap=K) (cap the work budget at K items); $(b,off) disables.")
+
+(* Install budget + fault configuration; an unparsable fault spec is a
+   driver error. *)
+let setup budget faults : (unit, Diag.t list) result =
+  (match budget with
+  | None -> Inl.Omega.set_default_budget Budget.default
+  | Some n -> Inl.Omega.set_default_budget (Budget.with_fm_work Budget.default n));
+  match faults with
+  | None ->
+      Faults.install Faults.none;
+      Ok ()
+  | Some spec -> (
+      match Faults.parse spec with
+      | Ok f ->
+          Faults.install f;
+          Ok ()
+      | Error msg -> Error [ Diag.error ~code:"D701" ~phase:Diag.Driver msg ])
+
+let setup_term = Term.(const setup $ budget_arg $ faults_arg)
+
+(* Shared driver scaffold: run [f ctx] after setup + load, merging exit
+   codes (errors dominate, then degradation). *)
+let with_context common file (f : Inl.context -> int) : int =
+  match common with
+  | Error ds ->
+      print_diags ds;
+      1
+  | Ok () -> (
+      match load file with
+      | Error ds ->
+          print_diags ds;
+          1
+      | Ok ctx ->
+          let code = f ctx in
+          if code = 0 then Diag.exit_code ctx.Inl.diags else code)
 
 let file_arg = Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE")
 
@@ -33,100 +105,126 @@ let nparam =
 (* ---- show ---- *)
 
 let show_cmd =
-  let run file =
-    let ctx = load file in
-    Format.printf "%s@." (Inl.Pp.program_to_string ctx.Inl.program);
-    Format.printf "@.instance-vector positions:@.%a@." Inl.Layout.pp_positions ctx.Inl.layout;
-    List.iter
-      (fun (si : Inl.Layout.stmt_info) ->
-        Format.printf "%s: loops=[%s] padded positions=[%s]@." si.Inl.Layout.label
-          (String.concat ";"
-             (List.map (fun (_, (l : Inl.Ast.loop)) -> l.Inl.Ast.var) si.Inl.Layout.loops))
-          (String.concat ";" (List.map string_of_int si.Inl.Layout.padded_pos)))
-      ctx.Inl.layout.Inl.Layout.stmts;
-    0
+  let run common file =
+    with_context common file (fun ctx ->
+        Format.printf "%s@." (Inl.Pp.program_to_string ctx.Inl.program);
+        Format.printf "@.instance-vector positions:@.%a@." Inl.Layout.pp_positions ctx.Inl.layout;
+        List.iter
+          (fun (si : Inl.Layout.stmt_info) ->
+            Format.printf "%s: loops=[%s] padded positions=[%s]@." si.Inl.Layout.label
+              (String.concat ";"
+                 (List.map (fun (_, (l : Inl.Ast.loop)) -> l.Inl.Ast.var) si.Inl.Layout.loops))
+              (String.concat ";" (List.map string_of_int si.Inl.Layout.padded_pos)))
+          ctx.Inl.layout.Inl.Layout.stmts;
+        0)
   in
   Cmd.v (Cmd.info "show" ~doc:"Parse a program and print its instance-vector layout.")
-    Term.(const run $ file_arg)
+    Term.(const run $ setup_term $ file_arg)
 
 (* ---- deps ---- *)
 
 let deps_cmd =
-  let run file =
-    let ctx = load file in
-    Format.printf "%a@." Inl.Dep.pp_matrix ctx.Inl.deps;
-    List.iter (fun d -> Format.printf "%a@." Inl.Dep.pp d) ctx.Inl.deps;
-    0
+  let run common file =
+    with_context common file (fun ctx ->
+        Format.printf "%a@." Inl.Dep.pp_matrix ctx.Inl.deps;
+        List.iter (fun d -> Format.printf "%a@." Inl.Dep.pp d) ctx.Inl.deps;
+        print_diags ctx.Inl.diags;
+        0)
   in
-  Cmd.v (Cmd.info "deps" ~doc:"Print the dependence matrix (Section 3).")
-    Term.(const run $ file_arg)
+  Cmd.v
+    (Cmd.info "deps"
+       ~doc:
+         "Print the dependence matrix (Section 3).  Exits with code 2 when any dependence is \
+          approximate (analysis budget exhausted or fault injected).")
+    Term.(const run $ setup_term $ file_arg)
 
 (* ---- apply ---- *)
 
+exception Bad_step of string
+
 let parse_step kind spec : Inl.Pipeline.step =
   let parts = String.split_on_char ',' spec in
-  let fail () = failwith (Printf.sprintf "bad --%s argument %S" kind spec) in
+  let fail () = raise (Bad_step (Printf.sprintf "bad --%s argument %S" kind spec)) in
   match (kind, parts) with
   | "interchange", [ a; b ] -> Inl.Pipeline.Interchange (a, b)
   | "reverse", [ v ] -> Inl.Pipeline.Reverse v
-  | "scale", [ v; k ] -> Inl.Pipeline.Scale (v, int_of_string k)
-  | "skew", [ t; s; f ] -> Inl.Pipeline.Skew { target = t; source = s; factor = int_of_string f }
-  | "align", [ s; l; k ] -> Inl.Pipeline.Align { stmt = s; loop = l; amount = int_of_string k }
+  | "scale", [ v; k ] -> (
+      match int_of_string_opt k with Some k -> Inl.Pipeline.Scale (v, k) | None -> fail ())
+  | "skew", [ t; s; f ] -> (
+      match int_of_string_opt f with
+      | Some f -> Inl.Pipeline.Skew { target = t; source = s; factor = f }
+      | None -> fail ())
+  | "align", [ s; l; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Inl.Pipeline.Align { stmt = s; loop = l; amount = k }
+      | None -> fail ())
   | "reorder", _ -> (
       (* path:perm, e.g. 0:1,0  — children of node [0] permuted *)
       match String.index_opt spec ':' with
       | None -> fail ()
-      | Some i ->
-          let path =
-            String.sub spec 0 i |> String.split_on_char '.'
-            |> List.filter (fun s -> s <> "")
-            |> List.map int_of_string
-          in
-          let perm =
-            String.sub spec (i + 1) (String.length spec - i - 1)
-            |> String.split_on_char ',' |> List.map int_of_string
-          in
-          Inl.Pipeline.Reorder { parent = path; perm })
+      | Some i -> (
+          try
+            let path =
+              String.sub spec 0 i |> String.split_on_char '.'
+              |> List.filter (fun s -> s <> "")
+              |> List.map int_of_string
+            in
+            let perm =
+              String.sub spec (i + 1) (String.length spec - i - 1)
+              |> String.split_on_char ',' |> List.map int_of_string
+            in
+            Inl.Pipeline.Reorder { parent = path; perm }
+          with Failure _ -> fail ()))
   | _ -> fail ()
 
 let list_opt name doc = Arg.(value & opt_all string [] & info [ name ] ~docv:"SPEC" ~doc)
 
 let apply_cmd =
-  let run file interchanges reverses scales skews aligns reorders no_simplify verify =
-    let ctx = load file in
-    let steps =
-      List.map (parse_step "interchange") interchanges
-      @ List.map (parse_step "reverse") reverses
-      @ List.map (parse_step "scale") scales
-      @ List.map (parse_step "skew") skews
-      @ List.map (parse_step "align") aligns
-      @ List.map (parse_step "reorder") reorders
-    in
-    if steps = [] then begin
-      prerr_endline "no transformation steps given";
-      2
-    end
-    else begin
-      match Inl.pipeline ctx steps with
-      | Error msg ->
-          Printf.eprintf "pipeline error: %s\n" msg;
-          1
-      | Ok total -> (
-      Format.printf "transformation matrix:@.%a@.@." Inl.Mat.pp total;
-      match Inl.transform ctx ~simplify:(not no_simplify) total with
-      | Error msg ->
-          Printf.eprintf "illegal transformation: %s\n" msg;
-          1
-      | Ok prog ->
-          Format.printf "%s@." (Inl.Pp.program_to_string prog);
-          (match verify with
-          | None -> ()
-          | Some n -> (
-              match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
-              | Ok () -> Printf.printf "\nverified equivalent at N = %d\n" n
-              | Error d -> Printf.printf "\nNOT EQUIVALENT at N = %d: %s\n" n d));
-          0)
-    end
+  let run common file interchanges reverses scales skews aligns reorders no_simplify verify =
+    with_context common file (fun ctx ->
+        match
+          List.map (parse_step "interchange") interchanges
+          @ List.map (parse_step "reverse") reverses
+          @ List.map (parse_step "scale") scales
+          @ List.map (parse_step "skew") skews
+          @ List.map (parse_step "align") aligns
+          @ List.map (parse_step "reorder") reorders
+        with
+        | exception Bad_step msg ->
+            print_diags [ Diag.error ~code:"D702" ~phase:Diag.Driver msg ];
+            1
+        | [] ->
+            print_diags
+              [ Diag.error ~code:"D703" ~phase:Diag.Driver "no transformation steps given" ];
+            1
+        | steps -> (
+            match Inl.pipeline ctx steps with
+            | Error ds ->
+                print_diags (ctx.Inl.diags @ ds);
+                1
+            | Ok total -> (
+                Format.printf "transformation matrix:@.%a@.@." Inl.Mat.pp total;
+                match Inl.transform ctx ~simplify:(not no_simplify) total with
+                | Error ds ->
+                    print_diags (ctx.Inl.diags @ ds);
+                    1
+                | Ok prog -> (
+                    Format.printf "%s@." (Inl.Pp.program_to_string prog);
+                    print_diags ctx.Inl.diags;
+                    match verify with
+                    | None -> 0
+                    | Some n -> (
+                        match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
+                        | Ok () ->
+                            Printf.printf "\nverified equivalent at N = %d\n" n;
+                            0
+                        | Error d ->
+                            print_diags
+                              [
+                                Diag.errorf ~code:"V601" ~phase:Diag.Interp
+                                  "NOT EQUIVALENT at N = %d: %s" n d;
+                              ];
+                            1)))))
   in
   let no_simplify =
     Arg.(value & flag & info [ "no-simplify" ] ~doc:"Skip the cleanup pass of Section 5.5.")
@@ -137,7 +235,7 @@ let apply_cmd =
   Cmd.v
     (Cmd.info "apply" ~doc:"Apply a pipeline of loop transformations (Section 4).")
     Term.(
-      const run $ file_arg
+      const run $ setup_term $ file_arg
       $ list_opt "interchange" "Interchange two loops: $(i,A,B)."
       $ list_opt "reverse" "Reverse a loop: $(i,V)."
       $ list_opt "scale" "Scale a loop: $(i,V,k)."
@@ -149,28 +247,53 @@ let apply_cmd =
 (* ---- complete ---- *)
 
 let complete_cmd =
-  let run file rows verify =
-    let ctx = load file in
-    let partial =
-      List.map
-        (fun spec -> Inl.Vec.of_int_list (List.map int_of_string (String.split_on_char ',' spec)))
-        rows
-    in
-    match Inl.complete ctx ~partial with
-    | None ->
-        prerr_endline "no legal completion found";
-        1
-    | Some m ->
-        Format.printf "completed matrix:@.%a@.@." Inl.Mat.pp m;
-        let prog = Inl.transform_exn ctx m in
-        Format.printf "%s@." (Inl.Pp.program_to_string prog);
-        (match verify with
-        | None -> ()
-        | Some n -> (
-            match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
-            | Ok () -> Printf.printf "\nverified equivalent at N = %d\n" n
-            | Error d -> Printf.printf "\nNOT EQUIVALENT at N = %d: %s\n" n d));
-        0
+  let run common file rows verify =
+    with_context common file (fun ctx ->
+        match
+          List.map
+            (fun spec ->
+              match
+                List.map
+                  (fun s ->
+                    match int_of_string_opt (String.trim s) with
+                    | Some n -> n
+                    | None -> raise (Bad_step (Printf.sprintf "bad --row entry %S" spec)))
+                  (String.split_on_char ',' spec)
+              with
+              | ints -> Inl.Vec.of_int_list ints)
+            rows
+        with
+        | exception Bad_step msg ->
+            print_diags [ Diag.error ~code:"D702" ~phase:Diag.Driver msg ];
+            1
+        | partial -> (
+            match Inl.complete_result ctx ~partial with
+            | Error ds ->
+                print_diags (ctx.Inl.diags @ ds);
+                1
+            | Ok m -> (
+                Format.printf "completed matrix:@.%a@.@." Inl.Mat.pp m;
+                match Inl.transform ctx m with
+                | Error ds ->
+                    print_diags (ctx.Inl.diags @ ds);
+                    1
+                | Ok prog -> (
+                    Format.printf "%s@." (Inl.Pp.program_to_string prog);
+                    print_diags ctx.Inl.diags;
+                    match verify with
+                    | None -> 0
+                    | Some n -> (
+                        match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
+                        | Ok () ->
+                            Printf.printf "\nverified equivalent at N = %d\n" n;
+                            0
+                        | Error d ->
+                            print_diags
+                              [
+                                Diag.errorf ~code:"V601" ~phase:Diag.Interp
+                                  "NOT EQUIVALENT at N = %d: %s" n d;
+                              ];
+                            1)))))
   in
   let rows =
     Arg.(value & opt_all string [] & info [ "row" ] ~docv:"a,b,..." ~doc:"A partial matrix row (repeatable; the first rows of the target matrix).")
@@ -180,25 +303,59 @@ let complete_cmd =
   in
   Cmd.v
     (Cmd.info "complete" ~doc:"Complete a partial transformation (Section 6).")
-    Term.(const run $ file_arg $ rows $ verify)
+    Term.(const run $ setup_term $ file_arg $ rows $ verify)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file n =
-    let ctx = load file in
-    let store = Interp.run ctx.Inl.program ~params:[ ("N", n) ] in
-    let cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] in
-    List.iter
-      (fun ((name, idx), v) ->
-        Printf.printf "%s(%s) = %.6g\n" name (String.concat "," (List.map string_of_int idx)) v)
-      (List.sort compare cells);
-    0
+  let run common file n =
+    with_context common file (fun ctx ->
+        match Interp.run ctx.Inl.program ~params:[ ("N", n) ] with
+        | exception Invalid_argument msg ->
+            print_diags [ Diag.error ~code:"I601" ~phase:Diag.Interp msg ];
+            1
+        | store ->
+            let cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] in
+            List.iter
+              (fun ((name, idx), v) ->
+                Printf.printf "%s(%s) = %.6g\n" name
+                  (String.concat "," (List.map string_of_int idx))
+                  v)
+              (List.sort compare cells);
+            0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Interpret the program and dump the final array contents.")
-    Term.(const run $ file_arg $ nparam)
+    Term.(const run $ setup_term $ file_arg $ nparam)
 
 let () =
   let doc = "transformations for imperfectly nested loops (Kodukula-Pingali, SC'96)" in
-  let info = Cmd.info "inltool" ~version:"1.0.0" ~doc in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success with an exact analysis.";
+      Cmd.Exit.info 1 ~doc:"on errors (parse failure, illegal transformation, failed search).";
+      Cmd.Exit.info 2
+        ~doc:
+          "on success under a degraded (approximate) dependence analysis — some Omega \
+           projection exhausted its resource budget and was replaced by a conservative \
+           dependence.";
+    ]
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Dependence analysis runs on an exact integer Fourier-Motzkin engine whose worst case \
+         is super-exponential, so every projection is resource-bounded (work items, \
+         coefficient bit growth, projection count).  When a projection exhausts its budget \
+         the analyzer does not fail: it substitutes a conservative dependence (direction \
+         unknown at every position beyond the carrying level), marks it approximate, and the \
+         legality test can then only become stricter — transformed programs remain correct, \
+         some legal transformations may be refused.";
+      `P
+        "Diagnostics are printed to stderr as 'severity[CODE] phase: message' lines.  The \
+         fault-injection option exists to exercise the degraded path deterministically in \
+         tests and operations drills.";
+    ]
+  in
+  let info = Cmd.info "inltool" ~version:"1.1.0" ~doc ~exits ~man in
   exit (Cmd.eval' (Cmd.group info [ show_cmd; deps_cmd; apply_cmd; complete_cmd; run_cmd ]))

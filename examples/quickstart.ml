@@ -36,7 +36,7 @@ let () =
   Format.printf "%a@." Inl.Mat.pp m;
 
   match Inl.transform ctx m with
-  | Error msg -> Printf.printf "unexpectedly illegal: %s\n" msg
+  | Error ds -> Printf.printf "unexpectedly illegal: %s\n" (Inl.Diag.list_to_string ds)
   | Ok prog ->
       print_endline "\n=== transformed program ===";
       print_endline (Inl.Pp.program_to_string prog);

@@ -105,7 +105,9 @@ let fusion_legal (layout : Layout.t) : bool =
                       (Linexpr.var (rs outer_s));
                   ])
             in
-            Omega.satisfiable sys)
+            (* on budget exhaustion assume the backward pair is possible:
+               fusion is refused rather than wrongly admitted *)
+            (try Omega.satisfiable sys with Omega.Blowup _ -> true))
           pairs
       in
       let headers_match =

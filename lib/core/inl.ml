@@ -40,36 +40,93 @@ module Dep = Inl_depend.Dep
 module Analysis = Inl_depend.Analysis
 module Mat = Inl_linalg.Mat
 module Vec = Inl_linalg.Vec
+module Diag = Inl_diag.Diag
+module Budget = Inl_diag.Budget
+module Faults = Inl_diag.Faults
+module Omega = Inl_presburger.Omega
 
-type context = { program : Ast.program; layout : Layout.t; deps : Dep.t list }
+type context = {
+  program : Ast.program;
+  layout : Layout.t;
+  deps : Dep.t list;
+  diags : Diag.t list;
+      (** analysis warnings — one [A201] per approximate (budget-degraded)
+          dependence; empty when the analysis was exact *)
+}
 
-(** Parse, lay out and analyze a program. *)
+let degraded (ctx : context) = List.exists (fun (d : Dep.t) -> d.Dep.approximate) ctx.deps
+
+(** Parse, lay out and analyze a program.  Never raises on analysis
+    budget exhaustion — degraded levels surface as approximate
+    dependences plus warnings in [diags]. *)
 let analyze ?padding (program : Ast.program) : context =
   let layout = Layout.of_program ?padding program in
-  { program; layout; deps = Analysis.dependences layout }
+  let deps, diags = Analysis.dependences_diag layout in
+  { program; layout; deps; diags }
 
 let analyze_source ?padding (src : string) : context = analyze ?padding (Parser.parse_exn src)
+
+(** Result-typed front door: parse and layout failures come back as error
+    diagnostics instead of exceptions. *)
+let analyze_source_result ?padding (src : string) : (context, Diag.t list) result =
+  match Parser.parse src with
+  | Error msg -> Error [ Diag.error ~code:"P101" ~phase:Diag.Parse msg ]
+  | Ok prog -> (
+      match analyze ?padding prog with
+      | ctx -> Ok ctx
+      | exception Invalid_argument msg -> Error [ Diag.error ~code:"Y102" ~phase:Diag.Layout msg ])
 
 let check (ctx : context) (m : Mat.t) : Legality.verdict = Legality.check ctx.layout m ctx.deps
 
 (** Generate the transformed program for a legal matrix; [simplify]
-    (default true) applies the cleanup pass of Section 5.5. *)
-let transform (ctx : context) ?(simplify = true) (m : Mat.t) : (Ast.program, string) result =
+    (default true) applies the cleanup pass of Section 5.5.  Errors are
+    typed diagnostics: [L302] illegal transformation, [G501] code
+    generation failure, [B501] presburger blowup during bound
+    generation. *)
+let transform (ctx : context) ?(simplify = true) (m : Mat.t) : (Ast.program, Diag.t list) result
+    =
   match check ctx m with
-  | Legality.Illegal msg -> Error msg
-  | Legality.Legal { structure; unsatisfied } ->
-      let prog = Codegen.generate structure ~unsatisfied in
-      Ok (if simplify then Simplify.simplify prog else prog)
+  | Legality.Illegal msg ->
+      Error [ Diag.error ~code:"L302" ~phase:Diag.Legality ("illegal transformation: " ^ msg) ]
+  | Legality.Legal { structure; unsatisfied } -> (
+      match
+        let prog = Codegen.generate structure ~unsatisfied in
+        if simplify then Simplify.simplify prog else prog
+      with
+      | prog -> Ok prog
+      | exception Codegen.Codegen_error msg ->
+          Error [ Diag.error ~code:"G501" ~phase:Diag.Codegen msg ]
+      | exception Inl_presburger.Omega.Blowup msg ->
+          Error
+            [
+              Diag.error ~code:"B501" ~phase:Diag.Presburger
+                ("resource budget exhausted during code generation: " ^ msg);
+            ])
 
 let transform_exn ctx ?simplify m =
-  match transform ctx ?simplify m with Ok p -> p | Error msg -> failwith msg
+  match transform ctx ?simplify m with Ok p -> p | Error ds -> failwith (Diag.list_to_string ds)
 
 (** The completion procedure (Section 6): extend the given first rows to
     a full legal transformation. *)
 let complete ?options (ctx : context) ~(partial : Vec.t list) : Mat.t option =
   Completion.complete ?options ctx.layout ctx.deps ~partial
 
+(** Result-typed completion: search failures and internal errors come
+    back as diagnostics ([C401] no completion, [C402] internal). *)
+let complete_result ?options (ctx : context) ~(partial : Vec.t list) :
+    (Mat.t, Diag.t list) result =
+  match complete ?options ctx ~partial with
+  | Some m -> Ok m
+  | None ->
+      Error
+        [
+          Diag.error ~code:"C401" ~phase:Diag.Completion
+            "no legal completion found (search space exhausted or budget ran out)";
+        ]
+  | exception (Failure msg | Invalid_argument msg) ->
+      Error [ Diag.error ~code:"C402" ~phase:Diag.Completion msg ]
+
 (** Compose a pipeline of named transformation steps (each phrased
     against the program shape current at that step) into one matrix. *)
-let pipeline (ctx : context) (steps : Pipeline.step list) : (Mat.t, string) result =
+let pipeline (ctx : context) (steps : Pipeline.step list) : (Mat.t, Diag.t list) result =
   Pipeline.compose ctx.layout steps

@@ -1,6 +1,7 @@
 module Mat = Inl_linalg.Mat
 module Ast = Inl_ir.Ast
 module Layout = Inl_instance.Layout
+module Diag = Inl_diag.Diag
 
 type step =
   | Interchange of string * string
@@ -30,17 +31,19 @@ let build (layout : Layout.t) (step : step) : Mat.t =
   | Align { stmt; loop; amount } -> Tmat.align layout ~stmt ~loop ~amount
   | Reorder { parent; perm } -> Tmat.reorder layout ~parent ~perm
 
-let compose (layout : Layout.t) (steps : step list) : (Mat.t, string) result =
+let step_error fmt = Diag.errorf ~code:"T301" ~phase:Diag.Legality fmt
+
+let compose (layout : Layout.t) (steps : step list) : (Mat.t, Diag.t list) result =
   let rec go acc layout = function
     | [] -> Ok acc
     | step :: rest -> (
         match build layout step with
         | exception (Not_found | Failure _ | Invalid_argument _) ->
-            Error (Format.asprintf "step '%a' failed against the current program shape" pp_step step)
+            Error [ step_error "step '%a' failed against the current program shape" pp_step step ]
         | m -> (
             let acc' = Mat.mul m acc in
             match Blockstruct.infer layout m with
             | Ok st -> go acc' st.Blockstruct.new_layout rest
-            | Error msg -> Error (Format.asprintf "step '%a': %s" pp_step step msg)))
+            | Error msg -> Error [ step_error "step '%a': %s" pp_step step msg ]))
   in
   go (Mat.identity (Layout.size layout)) layout steps

@@ -11,6 +11,7 @@
 module Mat = Inl_linalg.Mat
 module Ast = Inl_ir.Ast
 module Layout = Inl_instance.Layout
+module Diag = Inl_diag.Diag
 
 type step =
   | Interchange of string * string
@@ -23,6 +24,7 @@ type step =
 
 val pp_step : Format.formatter -> step -> unit
 
-val compose : Layout.t -> step list -> (Mat.t, string) result
-(** The composite matrix over the original layout, or an error naming the
-    failing step. *)
+val compose : Layout.t -> step list -> (Mat.t, Diag.t list) result
+(** The composite matrix over the original layout, or error diagnostics
+    (code [T301]) naming the failing step — builder exceptions are caught
+    and typed, never propagated. *)

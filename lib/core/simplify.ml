@@ -119,6 +119,13 @@ let guard_fact = function
 
 let let_fact v ({ Ast.num; den } : Ast.bterm) = Constr.eq2 (Linexpr.scale den (Linexpr.var v)) num
 
+(* Budget exhaustion during cleanup must never abort code generation:
+   an unprovable implication keeps the guard or bound term, an undecided
+   satisfiability keeps the divisibility guard — larger but correct
+   output either way. *)
+let implies_or_keep sys c = try Omega.implies sys c with Omega.Blowup _ -> false
+let satisfiable_or_keep sys = try Omega.satisfiable sys with Omega.Blowup _ -> true
+
 (* Remove dominated bound terms: inside a max a term that never exceeds
    another may go, inside a min a term that is never below another may
    go.  Dominance is decided on the rational values (t1/d1 <= t2/d2 under
@@ -129,7 +136,7 @@ let prune_bound_terms context (b : Ast.bound) : Ast.bound =
     let sys = System.of_list context in
     let le (t1 : Ast.bterm) (t2 : Ast.bterm) =
       (* t1/d1 <= t2/d2  <=>  d1*num2 - d2*num1 >= 0 *)
-      Omega.implies sys
+      implies_or_keep sys
         (Constr.ge
            (Linexpr.sub (Linexpr.scale t1.Ast.den t2.Ast.num) (Linexpr.scale t2.Ast.den t1.Ast.num)))
     in
@@ -168,8 +175,8 @@ let prune_guards (prog : Ast.program) : Ast.program =
           List.filter
             (fun g ->
               match g with
-              | Ast.Gcmp (`Ge, e) -> not (Omega.implies sys (Constr.ge e))
-              | Ast.Gcmp (`Eq, e) -> not (Omega.implies sys (Constr.eq e))
+              | Ast.Gcmp (`Ge, e) -> not (implies_or_keep sys (Constr.ge e))
+              | Ast.Gcmp (`Eq, e) -> not (implies_or_keep sys (Constr.eq e))
               | Ast.Gdiv (d, _) when Mpz.is_one d -> false
               | Ast.Gdiv (d, e) ->
                   (* the context implies d | e iff context with a non-zero
@@ -182,7 +189,7 @@ let prune_guards (prog : Ast.program) : Ast.program =
                       Constr.le2 (Linexpr.var r) (Linexpr.const (Mpz.pred d));
                     ]
                   in
-                  Omega.satisfiable (System.append non_divisible sys))
+                  satisfiable_or_keep (System.append non_divisible sys))
             gs
         in
         let ctx' = List.filter_map guard_fact gs @ context in

@@ -9,6 +9,7 @@ module Interval = Inl_presburger.Interval
 module Ast = Inl_ir.Ast
 module Meval = Inl_ir.Meval
 module Layout = Inl_instance.Layout
+module Diag = Inl_diag.Diag
 
 (* ---- access collection ---- *)
 
@@ -98,8 +99,26 @@ let subscript_constraints (w : Ast.aref) (r : Ast.aref) rn_w rn_r : Constr.t lis
          (fun a b -> Constr.eq2 (rename_affine rn_w a) (rename_affine rn_r b))
          w.index r.index)
 
-let analyze_pair layout (s_src : Layout.stmt_info) (s_dst : Layout.stmt_info)
-    (acc_src : Ast.aref) (acc_dst : Ast.aref) (kind : Dep.kind) : Dep.t list =
+(* Conservative per-level direction vector used when the exact projection
+   exhausts its budget: the order constraints of the level are structural
+   facts (they define what "carried at level k" / "loop-independent"
+   means), so they hold of every concrete dependent pair at that level
+   even though Omega never ran — common-loop deltas are 0 above the
+   carrying level, >= 1 at it, and unknown ([*]) everywhere else. *)
+let conservative_vector layout common_positions (lvl : Dep.level) : Interval.t array =
+  let v = Array.make (Layout.size layout) Interval.top in
+  (match lvl with
+  | Dep.Independent -> List.iter (fun p -> v.(p) <- Interval.zero) common_positions
+  | Dep.Carried k ->
+      List.iteri
+        (fun i p ->
+          if i < k - 1 then v.(p) <- Interval.zero else if i = k - 1 then v.(p) <- Interval.plus)
+        common_positions);
+  v
+
+let analyze_pair ?(warn = fun (_ : Diag.t) -> ()) layout (s_src : Layout.stmt_info)
+    (s_dst : Layout.stmt_info) (acc_src : Ast.aref) (acc_dst : Ast.aref) (kind : Dep.kind) :
+    Dep.t list =
   if not (String.equal acc_src.array acc_dst.array) then []
   else begin
     let rn_s = renamer s_src src_prefix and rn_t = renamer s_dst dst_prefix in
@@ -107,6 +126,7 @@ let analyze_pair layout (s_src : Layout.stmt_info) (s_dst : Layout.stmt_info)
     | None -> []
     | Some subs ->
         let common = Layout.common_loops layout s_src s_dst in
+        let common_positions = Layout.common_loop_positions layout s_src s_dst in
         let base =
           bounds_constraints s_src rn_s @ bounds_constraints s_dst rn_t @ subs
           @ delta_definitions layout s_src s_dst rn_s rn_t
@@ -120,49 +140,74 @@ let analyze_pair layout (s_src : Layout.stmt_info) (s_dst : Layout.stmt_info)
           then [ Dep.Independent ]
           else []
         in
+        let mk level vector approximate =
+          {
+            Dep.src = s_src.label;
+            dst = s_dst.label;
+            array = acc_src.array;
+            kind;
+            level;
+            vector;
+            approximate;
+          }
+        in
         List.filter_map
           (fun lvl ->
-            let sys = System.of_list (base @ order_constraints common rn_s rn_t lvl) in
-            if not (Omega.satisfiable sys) then None
-            else begin
-              let vector =
-                Array.init (Layout.size layout) (fun p -> Omega.implied_interval sys (delta_var p))
-              in
-              Some
-                {
-                  Dep.src = s_src.label;
-                  dst = s_dst.label;
-                  array = acc_src.array;
-                  kind;
-                  level = lvl;
-                  vector;
-                }
-            end)
+            let exact () =
+              let sys = System.of_list (base @ order_constraints common rn_s rn_t lvl) in
+              if not (Omega.satisfiable sys) then None
+              else begin
+                let vector =
+                  Array.init (Layout.size layout) (fun p ->
+                      Omega.implied_interval sys (delta_var p))
+                in
+                Some (mk lvl vector false)
+              end
+            in
+            match exact () with
+            | r -> r
+            | exception Omega.Blowup reason ->
+                (* degrade, never crash: a conservative dependence covers
+                   every pair the exact projection could have found, so
+                   downstream legality can only get stricter *)
+                let d = mk lvl (conservative_vector layout common_positions lvl) true in
+                warn
+                  (Diag.warningf ~code:"A201" ~phase:Diag.Analysis
+                     "approximate dependence %a: %s" Dep.pp d reason);
+                Some d)
           levels
   end
 
-let dependences (layout : Layout.t) : Dep.t list =
+let dependences_diag (layout : Layout.t) : Dep.t list * Diag.t list =
+  Omega.begin_analysis ();
+  let diags = ref [] in
+  let warn d = diags := d :: !diags in
   let stmts = layout.stmts in
-  List.concat_map
-    (fun s_src ->
-      List.concat_map
-        (fun s_dst ->
-          let pairs =
-            List.concat_map
-              (fun w -> List.map (fun r -> (w, r, Dep.Flow)) (reads_of s_dst))
-              (writes_of s_src)
-            @ List.concat_map
-                (fun r -> List.map (fun w -> (r, w, Dep.Anti)) (writes_of s_dst))
-                (reads_of s_src)
-            @ List.concat_map
-                (fun w -> List.map (fun w' -> (w, w', Dep.Output)) (writes_of s_dst))
+  let deps =
+    List.concat_map
+      (fun s_src ->
+        List.concat_map
+          (fun s_dst ->
+            let pairs =
+              List.concat_map
+                (fun w -> List.map (fun r -> (w, r, Dep.Flow)) (reads_of s_dst))
                 (writes_of s_src)
-          in
-          List.concat_map
-            (fun (a_src, a_dst, kind) -> analyze_pair layout s_src s_dst a_src a_dst kind)
-            pairs)
-        stmts)
-    stmts
+              @ List.concat_map
+                  (fun r -> List.map (fun w -> (r, w, Dep.Anti)) (writes_of s_dst))
+                  (reads_of s_src)
+              @ List.concat_map
+                  (fun w -> List.map (fun w' -> (w, w', Dep.Output)) (writes_of s_dst))
+                  (writes_of s_src)
+            in
+            List.concat_map
+              (fun (a_src, a_dst, kind) -> analyze_pair ~warn layout s_src s_dst a_src a_dst kind)
+              pairs)
+          stmts)
+      stmts
+  in
+  (deps, List.rev !diags)
+
+let dependences (layout : Layout.t) : Dep.t list = fst (dependences_diag layout)
 
 let self_dependences deps label =
   List.filter (fun (d : Dep.t) -> String.equal d.src label && String.equal d.dst label) deps

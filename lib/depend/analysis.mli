@@ -27,7 +27,18 @@ val writes_of : Layout.stmt_info -> Inl_ir.Ast.aref list
 
 val dependences : Layout.t -> Dep.t list
 (** All dependences of the program underlying the layout, in a
-    deterministic order (by statement pair, kind, then level). *)
+    deterministic order (by statement pair, kind, then level).  Never
+    raises on resource exhaustion: when a projection blows its budget
+    (or an {!Inl_diag.Faults} failure is injected), the affected level is
+    reported as a conservative {e approximate} dependence — direction
+    [(0,…,0,+,*,…)] over the common loops — whose solution set is a
+    superset of the exact one. *)
+
+val dependences_diag : Layout.t -> Dep.t list * Inl_diag.Diag.t list
+(** Like {!dependences}, also returning one warning diagnostic (code
+    [A201]) per approximate dependence.  Calls
+    {!Inl_presburger.Omega.begin_analysis} first, so results are
+    deterministic across repeated runs in one process. *)
 
 val self_dependences : Dep.t list -> string -> Dep.t list
 (** Dependences whose source and target are both the given statement. *)

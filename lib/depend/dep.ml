@@ -11,6 +11,7 @@ type t = {
   kind : kind;
   level : level;
   vector : Interval.t array;
+  approximate : bool;
 }
 
 let kind_to_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
@@ -22,9 +23,10 @@ let level_to_string = function
 let vector_symbols d = Array.to_list (Array.map Interval.to_symbol d.vector)
 
 let pp fmt d =
-  Format.fprintf fmt "%s %s->%s on %s [%s] (%s)" (kind_to_string d.kind) d.src d.dst d.array
+  Format.fprintf fmt "%s %s->%s on %s [%s] (%s)%s" (kind_to_string d.kind) d.src d.dst d.array
     (String.concat ", " (vector_symbols d))
     (level_to_string d.level)
+    (if d.approximate then " [approximate]" else "")
 
 let pp_matrix fmt (deps : t list) =
   match deps with

@@ -23,6 +23,11 @@ type t = {
   kind : kind;
   level : level;
   vector : Interval.t array;  (** one entry per instance-vector position *)
+  approximate : bool;
+      (** [true] when the exact projection exhausted its resource budget
+          and the vector is the conservative per-level direction
+          [(0,…,0,+,*,…)] — a superset of the true dependence set, so
+          legality stays sound (it can only reject more) *)
 }
 
 val kind_to_string : kind -> string

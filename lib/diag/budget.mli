@@ -1,0 +1,31 @@
+(** Resource budgets for the exact-ILP core.
+
+    Exact Fourier-Motzkin with splinters is worst-case super-exponential,
+    so every projection runs under a budget instead of a hard-coded
+    constant.  Exhausting any dimension raises
+    {!Inl_presburger.Omega.Blowup}, which the dependence analyzer turns
+    into a {e conservative approximate dependence} rather than a crash. *)
+
+type t = {
+  fm_work : int;
+      (** work items (disjuncts processed) per projection; the historical
+          hard-coded constant was 500_000 *)
+  max_coeff_bits : int;
+      (** hard stop on the bit-size of any coefficient produced during
+          elimination (FM multiplies coefficients pairwise) *)
+  max_projections : int;  (** projections per analysis run *)
+  fuel : int;  (** overall step allowance for drivers that meter phases *)
+}
+
+val default : t
+(** [{ fm_work = 500_000; max_coeff_bits = 4096; max_projections = 200_000;
+      fuel = max_int }] *)
+
+val with_fm_work : t -> int -> t
+(** Clamped to at least 1. *)
+
+val of_env : ?base:t -> unit -> t
+(** [base] (default {!default}) with [fm_work] overridden by the
+    [INL_FM_BUDGET] environment variable when it parses as a positive
+    integer; silently ignores malformed values (the CLI validates its own
+    flag). *)

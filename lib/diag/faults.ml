@@ -1,0 +1,57 @@
+type t = { fail_every : int option; fail_after : int option; cap_work : int option }
+
+let none = { fail_every = None; fail_after = None; cap_work = None }
+
+let parse s : (t, string) result =
+  let s = String.trim s in
+  if s = "" || String.lowercase_ascii s = "off" then Ok none
+  else
+    let parts = String.split_on_char ',' s in
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ -> acc
+        | Ok t -> (
+            match String.index_opt part '=' with
+            | None -> Error (Printf.sprintf "bad fault spec %S (expected key=value)" part)
+            | Some i -> (
+                let key = String.trim (String.sub part 0 i) in
+                let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+                match (key, int_of_string_opt v) with
+                | _, None -> Error (Printf.sprintf "bad fault value %S (expected an integer)" part)
+                | _, Some n when n < 0 -> Error (Printf.sprintf "negative fault value %S" part)
+                | "every", Some 0 -> Error "fault period every=0 (must be >= 1)"
+                | "every", n -> Ok { t with fail_every = n }
+                | "after", n -> Ok { t with fail_after = n }
+                | "cap", n -> Ok { t with cap_work = n }
+                | _ -> Error (Printf.sprintf "unknown fault key %S (every|after|cap)" key))))
+      (Ok none) parts
+
+let to_string t =
+  let field name = function None -> [] | Some n -> [ Printf.sprintf "%s=%d" name n ] in
+  match field "every" t.fail_every @ field "after" t.fail_after @ field "cap" t.cap_work with
+  | [] -> "off"
+  | fs -> String.concat "," fs
+
+let state = ref none
+let projections = ref 0
+
+let install t =
+  state := t;
+  projections := 0
+
+let current () = !state
+let active () = !state <> none
+let reset_counters () = projections := 0
+
+let project_should_fail () =
+  if not (active ()) then false
+  else begin
+    incr projections;
+    let t = !state in
+    (match t.fail_every with Some n when n > 0 -> !projections mod n = 0 | _ -> false)
+    || match t.fail_after with Some n -> !projections > n | None -> false
+  end
+
+let effective_work limit =
+  match (!state).cap_work with Some k -> min k limit | None -> limit

@@ -1,0 +1,42 @@
+(** Fault injection for the resource-bounded analysis path.
+
+    The degraded path (budget exhaustion inside {!Inl_presburger.Omega})
+    is hard to reach on the small systems of real programs, so tests and
+    operators can force it: fail every Nth projection, fail everything
+    after the Nth, or cap the work budget.  The hook is consulted by
+    [Omega.project]; installing {!none} (the initial state) makes it
+    free.
+
+    Configuration is process-global and explicit: the library never reads
+    the environment on its own — [inltool] wires the [INL_FAULTS]
+    variable / [--inject-faults] flag to {!parse} + {!install}. *)
+
+type t = {
+  fail_every : int option;  (** force a failure on every Nth projection (1 = all) *)
+  fail_after : int option;  (** force a failure on every projection after the Nth *)
+  cap_work : int option;  (** cap the Fourier-Motzkin work budget at K items *)
+}
+
+val none : t
+
+val parse : string -> (t, string) result
+(** Comma-separated [key=value] spec: ["every=2,after=10,cap=100"];
+    ["off"] and [""] mean {!none}. *)
+
+val to_string : t -> string
+
+val install : t -> unit
+(** Replaces the active spec and resets the projection counter. *)
+
+val current : unit -> t
+val active : unit -> bool
+
+val reset_counters : unit -> unit
+(** Restart the projection count; called at the start of every analysis
+    run so injected failures are deterministic per run. *)
+
+val project_should_fail : unit -> bool
+(** Called once per projection attempt; [true] means inject a failure. *)
+
+val effective_work : int -> int
+(** The work budget after applying [cap_work]. *)

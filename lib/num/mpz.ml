@@ -225,6 +225,7 @@ let to_int x =
 
 let neg x = { x with sign = -x.sign }
 let abs x = if x.sign < 0 then neg x else x
+let num_bits x = bitlen_mag x.mag
 
 let add x y =
   if x.sign = 0 then y

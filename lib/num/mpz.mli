@@ -38,6 +38,10 @@ val sign : t -> int
 
 val neg : t -> t
 val abs : t -> t
+
+(** Bit length of the magnitude; [num_bits zero = 0].  Used by the
+    resource-bounded elimination engine to cap coefficient growth. *)
+val num_bits : t -> int
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t

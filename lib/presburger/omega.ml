@@ -1,11 +1,19 @@
 module Mpz = Inl_num.Mpz
+module Budget = Inl_diag.Budget
+module Faults = Inl_diag.Faults
 
-exception Blowup
+exception Blowup of string
 
-(* Budget on the number of work items processed during one projection;
-   generous for the small systems arising from dependence analysis, but a
-   hard stop against pathological splintering. *)
-let work_budget = 500_000
+(* The budget used when a caller does not thread one explicitly; the CLI
+   overrides it from --budget / INL_FM_BUDGET. *)
+let default_budget = ref Budget.default
+let set_default_budget b = default_budget := b
+let get_default_budget () = !default_budget
+
+(* Projections performed since the last [begin_analysis]; bounded by
+   [Budget.max_projections] so a pathological analysis cannot spin through
+   an unbounded number of individually-cheap projections. *)
+let projections_done = ref 0
 
 let fresh_counter = ref 0
 
@@ -15,8 +23,16 @@ let fresh_var () =
   incr fresh_counter;
   Printf.sprintf "%s%d" wildcard_prefix !fresh_counter
 
+let begin_analysis () =
+  projections_done := 0;
+  fresh_counter := 0;
+  Faults.reset_counters ()
+
 let is_wildcard v =
   String.length v >= 2 && String.equal (String.sub v 0 2) wildcard_prefix
+
+let wildcard_index v =
+  if is_wildcard v then int_of_string_opt (String.sub v 2 (String.length v - 2)) else None
 
 (* Symmetric modulo: mod_hat a m = a - m * floor(a/m + 1/2), in (-m/2, m/2].
    Computed as a - m * fdiv (2a + m) (2m). *)
@@ -83,8 +99,9 @@ let progressable_victim e victim : string option =
    [sys]), staying on this one equality until it is consumed or stuck.
    (Interleaving steps of different equalities would break Pugh's
    termination measure: each substitution grows the other equalities.)
+   [fresh] supplies wildcard names scoped to the enclosing projection.
    Returns [None] when the equality is infeasible over the integers. *)
-let rec process_equality sys (e : Linexpr.t) victim : System.t option =
+let rec process_equality ~fresh sys (e : Linexpr.t) victim : System.t option =
   match Constr.normalize (Constr.eq e) with
   | `False -> None
   | `True -> Some sys
@@ -100,7 +117,7 @@ let rec process_equality sys (e : Linexpr.t) victim : System.t option =
             Some (System.subst sys x (solve_unit_eq e x))
           else begin
             let m = Mpz.succ (Mpz.abs a) in
-            let sigma = fresh_var () in
+            let sigma = fresh () in
             (* implied equality: sum (a_i mod^ m) x_i + (c mod^ m) - m sigma
                = 0; x's coefficient in it is mod^(a, m) = -sign(a), a unit *)
             let reduced =
@@ -111,7 +128,7 @@ let rec process_equality sys (e : Linexpr.t) victim : System.t option =
             in
             let e' = Linexpr.sub reduced (Linexpr.term m sigma) in
             let def = solve_unit_eq e' x in
-            process_equality (System.subst sys x def) (Linexpr.subst e x def) victim
+            process_equality ~fresh (System.subst sys x def) (Linexpr.subst e x def) victim
           end)
 
 (* ---- inequality elimination ---- *)
@@ -219,17 +236,61 @@ let pick_fm_variable sys victim =
       in
       Option.map fst best
 
-let project sys ~keep =
+let max_coeff_bits sys =
+  List.fold_left
+    (fun acc c ->
+      let e = Constr.expr c in
+      Linexpr.fold
+        (fun _ a acc -> max acc (Mpz.num_bits a))
+        e
+        (max acc (Mpz.num_bits (Linexpr.constant e))))
+    0 sys
+
+let project ?budget sys ~keep =
+  let budget = match budget with Some b -> b | None -> !default_budget in
+  incr projections_done;
+  if !projections_done > budget.Budget.max_projections then
+    raise
+      (Blowup
+         (Printf.sprintf "projection count exceeded the analysis budget (%d)"
+            budget.Budget.max_projections));
+  if Faults.project_should_fail () then
+    raise (Blowup "injected fault: forced projection failure");
+  let work_limit = Faults.effective_work budget.Budget.fm_work in
+  (* Wildcard names are scoped to this projection, starting above any
+     wildcard already present in the input: repeated projections of equal
+     systems produce identical output, independent of process history. *)
+  let next =
+    List.fold_left
+      (fun acc v -> match wildcard_index v with Some i -> max acc i | None -> acc)
+      0 (System.vars sys)
+    |> ref
+  in
+  let fresh () =
+    incr next;
+    Printf.sprintf "%s%d" wildcard_prefix !next
+  in
   (* wildcards introduced by mod-hat steps are never answer variables *)
   let victim v = (not (keep v)) || is_wildcard v in
+  (* Work is charged per constraint examined, not per disjunct: the cost
+     of handling a work item is proportional to its size, and a
+     constraint-level measure lets small budgets bite on small systems
+     (useful for testing the degraded path). *)
   let rec drain pending done_ count =
-    if count > work_budget then raise Blowup;
+    if count > work_limit then
+      raise (Blowup (Printf.sprintf "work budget exhausted (%d items)" work_limit));
     match pending with
     | [] -> List.rev done_
     | sys :: rest -> (
+        let count = count + max 1 (List.length sys) in
         match System.normalize sys with
-        | None -> drain rest done_ (count + 1)
+        | None -> drain rest done_ count
         | Some sys -> (
+            if max_coeff_bits sys > budget.Budget.max_coeff_bits then
+              raise
+                (Blowup
+                   (Printf.sprintf "coefficient growth exceeded %d bits"
+                      budget.Budget.max_coeff_bits));
             (* equality path first: any equality with a progressable victim *)
             let workable =
               List.find_map
@@ -243,22 +304,22 @@ let project sys ~keep =
             in
             match workable with
             | Some c -> (
-                match process_equality sys (Constr.expr c) victim with
-                | None -> drain rest done_ (count + 1)
-                | Some sys' -> drain (sys' :: rest) done_ (count + 1))
+                match process_equality ~fresh sys (Constr.expr c) victim with
+                | None -> drain rest done_ count
+                | Some sys' -> drain (sys' :: rest) done_ count)
             | None -> (
                 match pick_fm_variable sys victim with
-                | None -> drain rest (sys :: done_) (count + 1)
-                | Some v -> drain (inequality_step sys v @ rest) done_ (count + 1))))
+                | None -> drain rest (sys :: done_) count
+                | Some v -> drain (inequality_step sys v @ rest) done_ count)))
   in
   drain [ sys ] [] 0
 
-let satisfiable sys =
+let satisfiable ?budget sys =
   (* with nothing kept, every variable is a victim and equality
      elimination always progresses (the global minimum is a victim), so
      stuck wildcards cannot survive; any surviving disjunct is a
      normalized constant-free system, i.e. satisfiable *)
-  match project sys ~keep:(fun _ -> false) with [] -> false | _ :: _ -> true
+  match project ?budget sys ~keep:(fun _ -> false) with [] -> false | _ :: _ -> true
 
 (* ---- implied intervals ---- *)
 
@@ -299,7 +360,7 @@ let interval_1d sys v : Interval.t * bool =
    unbounded direction. *)
 let gallop_bits = 42
 
-let sat_with sys cs = satisfiable (System.append cs sys)
+let sat_with ?budget sys cs = satisfiable ?budget (System.append cs sys)
 
 let var_ge v c = Constr.ge2 (Linexpr.var v) (Linexpr.const c)
 let var_le v c = Constr.le2 (Linexpr.var v) (Linexpr.const c)
@@ -313,8 +374,8 @@ let rec bsearch_max pred lo hi =
     if pred mid then bsearch_max pred mid hi else bsearch_max pred lo (Mpz.pred mid)
   end
 
-let implied_interval sys v =
-  let disjuncts = project sys ~keep:(fun x -> String.equal x v) in
+let implied_interval ?budget sys v =
+  let disjuncts = project ?budget sys ~keep:(fun x -> String.equal x v) in
   let hull, all_exact =
     List.fold_left
       (fun (acc, exact) d ->
@@ -324,7 +385,7 @@ let implied_interval sys v =
       disjuncts
   in
   if all_exact || Interval.is_empty hull then hull
-  else if not (satisfiable sys) then Interval.(make PosInf NegInf)
+  else if not (satisfiable ?budget sys) then Interval.(make PosInf NegInf)
   else begin
     (* tighten the relaxed hull by probing the original system *)
     let big = Mpz.pow Mpz.two gallop_bits in
@@ -333,39 +394,45 @@ let implied_interval sys v =
       match hull.Interval.hi with
       | Interval.NegInf -> Interval.NegInf
       | Interval.PosInf ->
-          if sat_with sys [ var_ge v big ] then Interval.PosInf
-          else Interval.Fin (bsearch_max (fun c -> sat_with sys [ var_ge v c ]) neg_big big)
+          if sat_with ?budget sys [ var_ge v big ] then Interval.PosInf
+          else
+            Interval.Fin (bsearch_max (fun c -> sat_with ?budget sys [ var_ge v c ]) neg_big big)
       | Interval.Fin h ->
           (* h is a sound upper bound; the true max is the largest c <= h
              with sat(v >= c) *)
-          Interval.Fin (bsearch_max (fun c -> sat_with sys [ var_ge v c ]) neg_big h)
+          Interval.Fin (bsearch_max (fun c -> sat_with ?budget sys [ var_ge v c ]) neg_big h)
     in
     let lo =
       match hull.Interval.lo with
       | Interval.PosInf -> Interval.PosInf
       | Interval.NegInf ->
-          if sat_with sys [ var_le v neg_big ] then Interval.NegInf
+          if sat_with ?budget sys [ var_le v neg_big ] then Interval.NegInf
           else
             Interval.Fin
-              (Mpz.neg (bsearch_max (fun c -> sat_with sys [ var_le v (Mpz.neg c) ]) neg_big big))
+              (Mpz.neg
+                 (bsearch_max (fun c -> sat_with ?budget sys [ var_le v (Mpz.neg c) ]) neg_big big))
       | Interval.Fin l ->
           Interval.Fin
             (Mpz.neg
-               (bsearch_max (fun c -> sat_with sys [ var_le v (Mpz.neg c) ]) neg_big (Mpz.neg l)))
+               (bsearch_max
+                  (fun c -> sat_with ?budget sys [ var_le v (Mpz.neg c) ])
+                  neg_big (Mpz.neg l)))
     in
     Interval.make lo hi
   end
 
-let implies sys c =
+let implies ?budget sys c =
   (* sys => c  iff  sys /\ not c  is unsatisfiable.  For Ge e, not c is
      e <= -1; for Eq e it is e >= 1 \/ e <= -1. *)
   let e = Constr.expr c in
   match c with
   | Constr.Ge _ ->
       not
-        (satisfiable (System.add (Constr.ge (Linexpr.add_const (Linexpr.neg e) Mpz.minus_one)) sys))
+        (satisfiable ?budget
+           (System.add (Constr.ge (Linexpr.add_const (Linexpr.neg e) Mpz.minus_one)) sys))
   | Constr.Eq _ ->
-      (not (satisfiable (System.add (Constr.ge (Linexpr.add_const e Mpz.minus_one)) sys)))
+      (not
+         (satisfiable ?budget (System.add (Constr.ge (Linexpr.add_const e Mpz.minus_one)) sys)))
       && not
-           (satisfiable
+           (satisfiable ?budget
               (System.add (Constr.ge (Linexpr.add_const (Linexpr.neg e) Mpz.minus_one)) sys))

@@ -7,25 +7,52 @@
     coefficient is available), and inequality elimination distinguishes
     the real shadow from the dark shadow, enumerating splinters when they
     differ.  Because existential integer quantification does not preserve
-    conjunctive form, projections return a {e disjunction} of systems. *)
+    conjunctive form, projections return a {e disjunction} of systems.
 
-exception Blowup
-(** Raised when a projection exceeds the internal disjunct budget. *)
+    {2 Resource bounds}
 
-val satisfiable : System.t -> bool
+    Exact elimination is worst-case super-exponential, so every entry
+    point runs under an {!Inl_diag.Budget.t} — work items per projection,
+    a coefficient bit-size cap, and a per-analysis projection count.
+    Exhaustion (or an injected {!Inl_diag.Faults} failure) raises
+    {!Blowup}; the dependence analyzer catches it and degrades to
+    conservative approximate dependences instead of crashing. *)
 
-val project : System.t -> keep:(string -> bool) -> System.t list
+module Budget = Inl_diag.Budget
+
+exception Blowup of string
+(** Raised when a projection exceeds its resource budget (the message
+    names the exhausted resource) or a fault is injected. *)
+
+val default_budget : Budget.t ref
+val set_default_budget : Budget.t -> unit
+val get_default_budget : unit -> Budget.t
+(** The budget used when callers do not pass [?budget]; the CLI sets it
+    from [--budget] / [INL_FM_BUDGET]. *)
+
+val begin_analysis : unit -> unit
+(** Start of a fresh analysis run: resets the per-analysis projection
+    counter, the global wildcard counter, and the fault-injection
+    counters, so repeated analyses in one process are deterministic. *)
+
+val satisfiable : ?budget:Budget.t -> System.t -> bool
+
+val project : ?budget:Budget.t -> System.t -> keep:(string -> bool) -> System.t list
 (** [project sys ~keep] is a list of systems, mentioning only variables
     satisfying [keep], whose union of solution sets equals the projection
-    of [sys]'s solutions.  The empty list means unsatisfiable. *)
+    of [sys]'s solutions.  The empty list means unsatisfiable.  Wildcard
+    names are scoped to the projection (deterministic and reentrant).
+    @raise Blowup on budget exhaustion or injected fault. *)
 
-val implied_interval : System.t -> string -> Interval.t
+val implied_interval : ?budget:Budget.t -> System.t -> string -> Interval.t
 (** Tightest integer interval containing the values of the variable over
     all solutions of the system (the hull across disjuncts); an empty
     interval when the system is unsatisfiable. *)
 
-val implies : System.t -> Constr.t -> bool
+val implies : ?budget:Budget.t -> System.t -> Constr.t -> bool
 (** [implies sys c]: every integer solution of [sys] satisfies [c]. *)
 
 val fresh_var : unit -> string
-(** Fresh auxiliary variable name (reserved ["$w%d"] namespace). *)
+(** Fresh auxiliary variable name (reserved ["$w%d"] namespace) from the
+    process-global counter; reset by {!begin_analysis}.  Projections use
+    their own scoped counter and never consume from this one. *)

@@ -31,7 +31,7 @@ The CLI drives the framework end to end.  First write a program:
 A bare interchange is rejected with a diagnostic:
 
   $ inltool apply chol.loop --interchange I,J 2>&1 | tail -1
-  illegal transformation: dependence flow S2->S1 on A [+, -1, 1, 0] (carried(1)) can collapse to equal common-loop iterations, but S2 does not precede S1 in the transformed program
+  error[L302] legality: illegal transformation: dependence flow S2->S1 on A [+, -1, 1, 0] (carried(1)) can collapse to equal common-loop iterations, but S2 does not precede S1 in the transformed program
 
 The legal permutation is generated and verified:
 
@@ -95,3 +95,42 @@ Scaling produces strided reconstruction with exact-quotient bindings:
         endif
     endif
   enddo
+
+Resource-bounded analysis: a deliberately tiny Fourier-Motzkin budget
+cannot complete the exact dependence test, so the analyzer degrades to
+conservative approximate dependences — warnings on stderr, the
+degraded-but-succeeded exit code 2, and no backtrace:
+
+  $ inltool deps chol.loop --budget 10 >matrix.out 2>errors.log
+  [2]
+  $ head -1 errors.log
+  warning[A201] analysis: approximate dependence flow S1->S1 on A [+, *, *, *] (carried(1)) [approximate]: work budget exhausted (10 items)
+  $ grep -ci backtrace errors.log
+  0
+  [1]
+
+The budget can also come from the environment:
+
+  $ INL_FM_BUDGET=10 inltool deps chol.loop >/dev/null 2>/dev/null
+  [2]
+
+Fault injection exercises the degraded path deterministically.  A
+transformation the conservative dependences still admit survives total
+projection failure and verifies in the interpreter:
+
+  $ inltool apply chol.loop --scale I,1 --verify 4 --inject-faults every=1 >out.txt 2>/dev/null
+  [2]
+  $ tail -1 out.txt
+  verified equivalent at N = 4
+
+One the conservative dependences cannot admit is refused with a typed
+diagnostic (exit 1), never an uncaught exception:
+
+  $ inltool apply chol.loop --interchange I,J --inject-faults every=1 2>&1 >/dev/null | tail -1
+  error[L302] legality: illegal transformation: dependence flow S1->S1 on A [+, *, *, *] (carried(1)) [approximate] maps to a possibly lexicographically negative vector
+
+A malformed fault spec is a driver error:
+
+  $ inltool deps chol.loop --inject-faults frob=1
+  error[D701] driver: unknown fault key "frob" (every|after|cap)
+  [1]

@@ -86,7 +86,7 @@ let test_reversal_needs_distribution () =
       (* and the transformed distributed program still is *)
       let vctx = Inl.analyze ~padding:Layout.Diagonal v.Ext.program in
       match Inl.transform vctx m with
-      | Error msg -> Alcotest.failf "codegen failed: %s" msg
+      | Error ds -> Alcotest.failf "codegen failed: %s" (Inl.Diag.list_to_string ds)
       | Ok prog -> (
           match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", 6) ] with
           | Ok () -> ()

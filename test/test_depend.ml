@@ -187,6 +187,100 @@ let coverage_prop =
          let concrete = Analysis.concrete_dependences layout ~params:[ ("N", 5) ] in
          List.for_all (covers layout deps) concrete))
 
+(* ---- graceful degradation under injected Omega failures ---- *)
+
+let with_faults spec f =
+  Inl_diag.Faults.install spec;
+  Fun.protect ~finally:(fun () -> Inl_diag.Faults.install Inl_diag.Faults.none) f
+
+(* [inner] is contained in [outer] iff their hull is [outer]. *)
+let interval_subset inner outer = Interval.equal (Interval.hull inner outer) outer
+
+let dep_subsumed (exact : Dep.t) (approx : Dep.t) =
+  exact.Dep.src = approx.Dep.src
+  && exact.dst = approx.dst
+  && exact.kind = approx.kind
+  && Array.length exact.vector = Array.length approx.vector
+  && Array.for_all2 interval_subset exact.vector approx.vector
+
+(* With every projection failing, the conservative dependence set must
+   still cover (1) every concrete dependent instance pair and (2) every
+   dependence of the exact analysis, interval-wise. *)
+let check_superset src_text params =
+  let layout = layout_of src_text in
+  let exact = Analysis.dependences layout in
+  let degraded, diags =
+    with_faults
+      { Inl_diag.Faults.none with fail_every = Some 1 }
+      (fun () -> Analysis.dependences_diag layout)
+  in
+  Alcotest.(check bool) "degradation reported" true (diags <> []);
+  Alcotest.(check bool)
+    "every degraded dep is tagged approximate" true
+    (List.for_all (fun (d : Dep.t) -> d.Dep.approximate) degraded);
+  List.iter
+    (fun (e : Dep.t) ->
+      if not (List.exists (dep_subsumed e) degraded) then
+        Alcotest.failf "exact dependence not subsumed by the conservative set: %s"
+          (Format.asprintf "%a" Dep.pp e))
+    exact;
+  let concrete = Analysis.concrete_dependences layout ~params in
+  List.iter
+    (fun ((s, t, k, diff) as c) ->
+      if not (covers layout degraded c) then
+        Alcotest.failf "concrete dependence outside the conservative set: %s->%s %s [%s]" s t
+          (Dep.kind_to_string k)
+          (String.concat "," (List.map string_of_int (Array.to_list diff))))
+    concrete
+
+let test_superset_cholesky () = check_superset cholesky_src [ ("N", 6) ]
+let test_superset_aug () = check_superset aug_src [ ("N", 6) ]
+let test_superset_full_cholesky () = check_superset full_cholesky_src [ ("N", 5) ]
+
+(* Partial degradation (every 2nd projection fails) must still be a
+   superset of the concrete pairs, mixing exact and approximate columns. *)
+let test_partial_degradation () =
+  let layout = layout_of cholesky_src in
+  let degraded =
+    with_faults
+      { Inl_diag.Faults.none with fail_every = Some 2 }
+      (fun () -> Analysis.dependences layout)
+  in
+  let concrete = Analysis.concrete_dependences layout ~params:[ ("N", 6) ] in
+  List.iter
+    (fun ((s, t, k, diff) as c) ->
+      if not (covers layout degraded c) then
+        Alcotest.failf "concrete dependence uncovered under partial faults: %s->%s %s [%s]" s t
+          (Dep.kind_to_string k)
+          (String.concat "," (List.map string_of_int (Array.to_list diff))))
+    concrete
+
+(* Analysis is deterministic: two runs under identical fault schedules
+   produce identical dependence sets (fresh-variable naming and fault
+   counters are reset per analysis). *)
+let test_deterministic_under_faults () =
+  let layout = layout_of full_cholesky_src in
+  let run () =
+    with_faults
+      { Inl_diag.Faults.none with fail_every = Some 2 }
+      (fun () -> Analysis.dependences layout)
+  in
+  let show ds = String.concat "\n" (List.map (Format.asprintf "%a" Dep.pp) ds) in
+  Alcotest.(check string) "identical dependence sets" (show (run ())) (show (run ()))
+
+let superset_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"conservative set covers concrete on random programs" ~count:25
+       gen_src (fun src ->
+         let layout = layout_of src in
+         let degraded =
+           with_faults
+             { Inl_diag.Faults.none with fail_every = Some 1 }
+             (fun () -> Analysis.dependences layout)
+         in
+         let concrete = Analysis.concrete_dependences layout ~params:[ ("N", 5) ] in
+         List.for_all (covers layout degraded) concrete))
+
 let () =
   Alcotest.run "depend"
     [
@@ -203,5 +297,14 @@ let () =
           Alcotest.test_case "coverage: Section 5.4 example" `Quick test_coverage_aug;
           Alcotest.test_case "coverage: full Cholesky" `Slow test_coverage_full_cholesky;
           coverage_prop;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "superset: simplified Cholesky" `Quick test_superset_cholesky;
+          Alcotest.test_case "superset: Section 5.4 example" `Quick test_superset_aug;
+          Alcotest.test_case "superset: full Cholesky" `Slow test_superset_full_cholesky;
+          Alcotest.test_case "partial fault coverage" `Quick test_partial_degradation;
+          Alcotest.test_case "deterministic under faults" `Quick test_deterministic_under_faults;
+          superset_prop;
         ] );
     ]

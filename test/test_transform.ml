@@ -290,7 +290,7 @@ let test_pipeline_compose () =
     ]
   in
   (match Inl.Pipeline.compose layout steps with
-  | Error m -> Alcotest.fail m
+  | Error ds -> Alcotest.fail (Inl.Diag.list_to_string ds)
   | Ok total ->
       let expected =
         Tmat.compose (Tmat.interchange layout "I" "J")
@@ -299,7 +299,8 @@ let test_pipeline_compose () =
       Alcotest.(check mat_t) "matches manual composition" expected total);
   (* a step against a non-existent loop reports the step *)
   match Inl.Pipeline.compose layout [ Inl.Pipeline.Reverse "Q" ] with
-  | Error msg -> Alcotest.(check bool) "names the step" true (String.length msg > 0)
+  | Error ds ->
+      Alcotest.(check bool) "names the step" true (String.length (Inl.Diag.list_to_string ds) > 0)
   | Ok _ -> Alcotest.fail "expected failure"
 
 let test_pipeline_shape_tracking () =
@@ -321,10 +322,10 @@ enddo" in
     ]
   in
   match Inl.pipeline ctx steps with
-  | Error m -> Alcotest.fail m
+  | Error ds -> Alcotest.fail (Inl.Diag.list_to_string ds)
   | Ok total -> (
       match Inl.transform ctx total with
-      | Error m -> Alcotest.fail m
+      | Error ds -> Alcotest.fail (Inl.Diag.list_to_string ds)
       | Ok prog ->
           let labels =
             List.map (fun (_, (s : Inl_ir.Ast.stmt)) -> s.Inl_ir.Ast.label)
