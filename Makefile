@@ -1,0 +1,19 @@
+# Convenience wrappers around dune.  `make check` is the tier-1 gate:
+# full build, test suite, and static verification of the example
+# kernels (examples/kernels/dune).
+
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build @check
+
+clean:
+	dune clean

@@ -5,6 +5,8 @@
      inltool deps FILE            dependence matrix (Section 3)
      inltool apply FILE OPTS      apply a transformation pipeline
      inltool complete FILE --row  complete a partial transformation
+     inltool verify FILE          static lint + DOALL analysis
+                                  (--against SRC adds translation validation)
      inltool run FILE -N n        interpret and dump the final store
 
    Transformations compose left to right:
@@ -17,6 +19,7 @@
    --budget / INL_FM_BUDGET and --inject-faults / INL_FAULTS. *)
 
 module Interp = Inl_interp.Interp
+module Verify = Inl_verify.Verify
 module Diag = Inl.Diag
 module Budget = Inl.Budget
 module Faults = Inl.Faults
@@ -99,6 +102,24 @@ let with_context common file (f : Inl.context -> int) : int =
 
 let file_arg = Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE")
 
+(* Combine exit codes from independent checks: errors dominate, then
+   degradation, then clean. *)
+let merge_code a b = if a = 1 || b = 1 then 1 else max a b
+
+(* Static post-pass behind --check: translation validation of the
+   generated program against the analyzed source. *)
+let run_check (ctx : Inl.context) (prog : Inl.Ast.program) : int =
+  let report = Verify.run ~against:ctx.Inl.program prog in
+  let ds = Verify.diags report in
+  print_diags ds;
+  if Diag.has_errors ds then 1
+  else if Diag.has_warnings ds then (
+    Printf.printf "\nstatic verification incomplete (see warnings)\n";
+    2)
+  else (
+    Printf.printf "\nstatically verified: instance sets and dependence order preserved\n";
+    0)
+
 let nparam =
   Arg.(value & opt int 6 & info [ "N"; "size" ] ~docv:"N" ~doc:"Value for the size parameter N.")
 
@@ -142,62 +163,74 @@ let deps_cmd =
 
 exception Bad_step of string
 
-let parse_step kind spec : Inl.Pipeline.step =
-  let parts = String.split_on_char ',' spec in
-  let fail () = raise (Bad_step (Printf.sprintf "bad --%s argument %S" kind spec)) in
-  match (kind, parts) with
-  | "interchange", [ a; b ] -> Inl.Pipeline.Interchange (a, b)
-  | "reverse", [ v ] -> Inl.Pipeline.Reverse v
-  | "scale", [ v; k ] -> (
-      match int_of_string_opt k with Some k -> Inl.Pipeline.Scale (v, k) | None -> fail ())
-  | "skew", [ t; s; f ] -> (
-      match int_of_string_opt f with
-      | Some f -> Inl.Pipeline.Skew { target = t; source = s; factor = f }
-      | None -> fail ())
-  | "align", [ s; l; k ] -> (
-      match int_of_string_opt k with
-      | Some k -> Inl.Pipeline.Align { stmt = s; loop = l; amount = k }
-      | None -> fail ())
-  | "reorder", _ -> (
-      (* path:perm, e.g. 0:1,0  — children of node [0] permuted *)
-      match String.index_opt spec ':' with
-      | None -> fail ()
-      | Some i -> (
-          try
-            let path =
-              String.sub spec 0 i |> String.split_on_char '.'
-              |> List.filter (fun s -> s <> "")
-              |> List.map int_of_string
-            in
-            let perm =
-              String.sub spec (i + 1) (String.length spec - i - 1)
-              |> String.split_on_char ',' |> List.map int_of_string
-            in
-            Inl.Pipeline.Reorder { parent = path; perm }
-          with Failure _ -> fail ()))
-  | _ -> fail ()
+(* Collect the step options in CLI order; the first malformed spec is a
+   D702 driver error. *)
+let collect_steps groups : (Inl.Pipeline.step list, Diag.t list) result =
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | (kind, specs) :: rest -> (
+        let parsed =
+          List.fold_left
+            (fun acc spec ->
+              match acc with
+              | Error _ as e -> e
+              | Ok steps -> (
+                  match Inl.Pipeline.step_of_spec ~kind spec with
+                  | Ok s -> Ok (s :: steps)
+                  | Error msg -> Error msg))
+            (Ok []) specs
+        in
+        match parsed with
+        | Ok steps -> go (List.rev steps :: acc) rest
+        | Error msg -> Error [ Diag.error ~code:"D702" ~phase:Diag.Driver msg ])
+  in
+  go [] groups
+
+(* Interpretation-based equivalence check behind --verify N. *)
+let run_interp_verify (ctx : Inl.context) prog n : int =
+  match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
+  | Ok () ->
+      Printf.printf "\nverified equivalent at N = %d\n" n;
+      0
+  | Error d ->
+      print_diags
+        [ Diag.errorf ~code:"V601" ~phase:Diag.Interp "NOT EQUIVALENT at N = %d: %s" n d ];
+      1
 
 let list_opt name doc = Arg.(value & opt_all string [] & info [ name ] ~docv:"SPEC" ~doc)
 
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Statically verify the generated program against the source: instance-set and \
+           dependence-order preservation plus the well-formedness lint (exit 1 on a \
+           verification error, 2 when a check degraded under the resource budget).")
+
 let apply_cmd =
-  let run common file interchanges reverses scales skews aligns reorders no_simplify verify =
+  let run common file interchanges reverses scales skews aligns reorders no_simplify verify check
+      =
     with_context common file (fun ctx ->
         match
-          List.map (parse_step "interchange") interchanges
-          @ List.map (parse_step "reverse") reverses
-          @ List.map (parse_step "scale") scales
-          @ List.map (parse_step "skew") skews
-          @ List.map (parse_step "align") aligns
-          @ List.map (parse_step "reorder") reorders
+          collect_steps
+            [
+              ("interchange", interchanges);
+              ("reverse", reverses);
+              ("scale", scales);
+              ("skew", skews);
+              ("align", aligns);
+              ("reorder", reorders);
+            ]
         with
-        | exception Bad_step msg ->
-            print_diags [ Diag.error ~code:"D702" ~phase:Diag.Driver msg ];
+        | Error ds ->
+            print_diags ds;
             1
-        | [] ->
+        | Ok [] ->
             print_diags
               [ Diag.error ~code:"D703" ~phase:Diag.Driver "no transformation steps given" ];
             1
-        | steps -> (
+        | Ok steps -> (
             match Inl.pipeline ctx steps with
             | Error ds ->
                 print_diags (ctx.Inl.diags @ ds);
@@ -208,23 +241,14 @@ let apply_cmd =
                 | Error ds ->
                     print_diags (ctx.Inl.diags @ ds);
                     1
-                | Ok prog -> (
+                | Ok prog ->
                     Format.printf "%s@." (Inl.Pp.program_to_string prog);
                     print_diags ctx.Inl.diags;
-                    match verify with
-                    | None -> 0
-                    | Some n -> (
-                        match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
-                        | Ok () ->
-                            Printf.printf "\nverified equivalent at N = %d\n" n;
-                            0
-                        | Error d ->
-                            print_diags
-                              [
-                                Diag.errorf ~code:"V601" ~phase:Diag.Interp
-                                  "NOT EQUIVALENT at N = %d: %s" n d;
-                              ];
-                            1)))))
+                    let check_code = if check then run_check ctx prog else 0 in
+                    let verify_code =
+                      match verify with None -> 0 | Some n -> run_interp_verify ctx prog n
+                    in
+                    merge_code check_code verify_code)))
   in
   let no_simplify =
     Arg.(value & flag & info [ "no-simplify" ] ~doc:"Skip the cleanup pass of Section 5.5.")
@@ -242,12 +266,12 @@ let apply_cmd =
       $ list_opt "skew" "Skew target by source: $(i,T,S,f)."
       $ list_opt "align" "Align a statement w.r.t. a loop: $(i,S,L,k)."
       $ list_opt "reorder" "Reorder children of a node: $(i,PATH:p0,p1,...)."
-      $ no_simplify $ verify)
+      $ no_simplify $ verify $ check_flag)
 
 (* ---- complete ---- *)
 
 let complete_cmd =
-  let run common file rows verify =
+  let run common file rows verify check =
     with_context common file (fun ctx ->
         match
           List.map
@@ -277,23 +301,14 @@ let complete_cmd =
                 | Error ds ->
                     print_diags (ctx.Inl.diags @ ds);
                     1
-                | Ok prog -> (
+                | Ok prog ->
                     Format.printf "%s@." (Inl.Pp.program_to_string prog);
                     print_diags ctx.Inl.diags;
-                    match verify with
-                    | None -> 0
-                    | Some n -> (
-                        match Interp.equivalent ctx.Inl.program prog ~params:[ ("N", n) ] with
-                        | Ok () ->
-                            Printf.printf "\nverified equivalent at N = %d\n" n;
-                            0
-                        | Error d ->
-                            print_diags
-                              [
-                                Diag.errorf ~code:"V601" ~phase:Diag.Interp
-                                  "NOT EQUIVALENT at N = %d: %s" n d;
-                              ];
-                            1)))))
+                    let check_code = if check then run_check ctx prog else 0 in
+                    let verify_code =
+                      match verify with None -> 0 | Some n -> run_interp_verify ctx prog n
+                    in
+                    merge_code check_code verify_code)))
   in
   let rows =
     Arg.(value & opt_all string [] & info [ "row" ] ~docv:"a,b,..." ~doc:"A partial matrix row (repeatable; the first rows of the target matrix).")
@@ -303,28 +318,108 @@ let complete_cmd =
   in
   Cmd.v
     (Cmd.info "complete" ~doc:"Complete a partial transformation (Section 6).")
-    Term.(const run $ setup_term $ file_arg $ rows $ verify)
+    Term.(const run $ setup_term $ file_arg $ rows $ verify $ check_flag)
+
+(* ---- verify ---- *)
+
+(* Parse without building a Layout: the verifier is meant for arbitrary
+   program shapes — in particular codegen output, whose If/Let nodes the
+   instance-vector layout rejects by design. *)
+let parse_only path : (Inl.Ast.program, Diag.t list) result =
+  match Inl.Parser.parse (read_file path) with
+  | Ok prog -> Ok prog
+  | Error msg -> Error [ Diag.error ~code:"P101" ~phase:Diag.Parse msg ]
+
+let verify_cmd =
+  let run common file against =
+    match common with
+    | Error ds ->
+        print_diags ds;
+        1
+    | Ok () -> (
+        match parse_only file with
+        | Error ds ->
+            print_diags ds;
+            1
+        | Ok prog -> (
+            let source =
+              match against with
+              | None -> Ok None
+              | Some src -> (
+                  match parse_only src with Ok p -> Ok (Some p) | Error ds -> Error ds)
+            in
+            match source with
+            | Error ds ->
+                print_diags ds;
+                1
+            | Ok source ->
+                let report = Verify.run ?against:source prog in
+                print_endline (Verify.annotated prog report.Verify.loops);
+                print_newline ();
+                List.iter print_endline (Verify.loop_summary report.Verify.loops);
+                let ds = Verify.diags report in
+                print_diags ds;
+                (if not (Diag.has_errors ds) then
+                   match (source, Diag.has_warnings ds) with
+                   | Some _, false ->
+                       Printf.printf
+                         "\nstatically verified: instance sets and dependence order preserved\n"
+                   | Some _, true -> Printf.printf "\nstatic verification incomplete (see warnings)\n"
+                   | None, _ -> ());
+                Diag.exit_code ds))
+  in
+  let against =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "against" ] ~docv:"SRC"
+          ~doc:
+            "Source program to validate FILE against: proves instance-set preservation (no \
+             dropped, extra or duplicated iterations) and dependence-order preservation.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically analyze a program: well-formedness lint, DOALL (parallel-loop) detection, \
+          and — with $(b,--against) — translation validation against a source program.  Exits \
+          1 on verification errors, 2 on lint findings or budget-degraded checks.")
+    Term.(const run $ setup_term $ file_arg $ against)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let run common file n =
-    with_context common file (fun ctx ->
-        match Interp.run ctx.Inl.program ~params:[ ("N", n) ] with
-        | exception Invalid_argument msg ->
-            print_diags [ Diag.error ~code:"I601" ~phase:Diag.Interp msg ];
+    match common with
+    | Error ds ->
+        print_diags ds;
+        1
+    | Ok () -> (
+        (* Parse-only on purpose: generated programs (If/Let nodes) have no
+           instance-vector layout but interpret fine. *)
+        match parse_only file with
+        | Error ds ->
+            print_diags ds;
             1
-        | store ->
-            let cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] in
-            List.iter
-              (fun ((name, idx), v) ->
-                Printf.printf "%s(%s) = %.6g\n" name
-                  (String.concat "," (List.map string_of_int idx))
-                  v)
-              (List.sort compare cells);
-            0)
+        | Ok prog -> (
+            match Interp.run prog ~params:[ ("N", n) ] with
+            | exception Invalid_argument msg ->
+                print_diags [ Diag.error ~code:"I601" ~phase:Diag.Interp msg ];
+                1
+            | store ->
+                let cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] in
+                List.iter
+                  (fun ((name, idx), v) ->
+                    Printf.printf "%s(%s) = %.6g\n" name
+                      (String.concat "," (List.map string_of_int idx))
+                      v)
+                  (List.sort compare cells);
+                0))
   in
-  Cmd.v (Cmd.info "run" ~doc:"Interpret the program and dump the final array contents.")
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Interpret the program and dump the final array contents.  Accepts any parseable \
+          program, including generated code with guards and lets.")
     Term.(const run $ setup_term $ file_arg $ nparam)
 
 let () =
@@ -358,4 +453,6 @@ let () =
     ]
   in
   let info = Cmd.info "inltool" ~version:"1.1.0" ~doc ~exits ~man in
-  exit (Cmd.eval' (Cmd.group info [ show_cmd; deps_cmd; apply_cmd; complete_cmd; run_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ show_cmd; deps_cmd; apply_cmd; complete_cmd; verify_cmd; run_cmd ]))

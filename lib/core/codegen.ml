@@ -36,9 +36,10 @@ let err fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
 
 type stmt_plan = {
   si_old : Layout.stmt_info;
-  scan_vars : string list; (* new loop variables, outer to inner: k shared then q private *)
   shared_count : int;
-  bounds : Boundsgen.loop_bounds list; (* aligned with scan_vars; [] when infeasible *)
+  bounds : Boundsgen.loop_bounds list;
+      (* one per new loop variable, outer to inner (k shared then q
+         private); [] when infeasible *)
   feasible : bool;
   lets : (string * Ast.bterm) list; (* original iterator reconstructions, outer first *)
   div_guards : Ast.guard list;
@@ -173,7 +174,6 @@ let plan_statement (st : Blockstruct.t) (unsat : Dep.t list)
   in
   {
     si_old;
-    scan_vars;
     shared_count = k;
     bounds;
     feasible;

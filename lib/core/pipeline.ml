@@ -31,6 +31,43 @@ let build (layout : Layout.t) (step : step) : Mat.t =
   | Align { stmt; loop; amount } -> Tmat.align layout ~stmt ~loop ~amount
   | Reorder { parent; perm } -> Tmat.reorder layout ~parent ~perm
 
+(* Surface syntax of one step, as used by the CLI's --interchange /
+   --reverse / ... options. *)
+let step_of_spec ~(kind : string) (spec : string) : (step, string) result =
+  let parts = String.split_on_char ',' spec in
+  let fail () = Error (Printf.sprintf "bad --%s argument %S" kind spec) in
+  match (kind, parts) with
+  | "interchange", [ a; b ] -> Ok (Interchange (a, b))
+  | "reverse", [ v ] -> Ok (Reverse v)
+  | "scale", [ v; k ] -> (
+      match int_of_string_opt k with Some k -> Ok (Scale (v, k)) | None -> fail ())
+  | "skew", [ t; s; f ] -> (
+      match int_of_string_opt f with
+      | Some f -> Ok (Skew { target = t; source = s; factor = f })
+      | None -> fail ())
+  | "align", [ s; l; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Align { stmt = s; loop = l; amount = k })
+      | None -> fail ())
+  | "reorder", _ -> (
+      (* path:perm, e.g. 0:1,0 — children of node [0] permuted *)
+      match String.index_opt spec ':' with
+      | None -> fail ()
+      | Some i -> (
+          try
+            let path =
+              String.sub spec 0 i |> String.split_on_char '.'
+              |> List.filter (fun s -> s <> "")
+              |> List.map int_of_string
+            in
+            let perm =
+              String.sub spec (i + 1) (String.length spec - i - 1)
+              |> String.split_on_char ',' |> List.map int_of_string
+            in
+            Ok (Reorder { parent = path; perm })
+          with Failure _ -> fail ()))
+  | _ -> fail ()
+
 let step_error fmt = Diag.errorf ~code:"T301" ~phase:Diag.Legality fmt
 
 let compose (layout : Layout.t) (steps : step list) : (Mat.t, Diag.t list) result =

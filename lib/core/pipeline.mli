@@ -24,6 +24,12 @@ type step =
 
 val pp_step : Format.formatter -> step -> unit
 
+val step_of_spec : kind:string -> string -> (step, string) result
+(** Parse the CLI surface syntax of one step: [kind] is the option name
+    ([interchange], [reverse], [scale], [skew], [align], [reorder]) and
+    the string its argument, e.g. [step_of_spec ~kind:"skew" "J,I,1"].
+    The error is a human-readable message naming the bad argument. *)
+
 val compose : Layout.t -> step list -> (Mat.t, Diag.t list) result
 (** The composite matrix over the original layout, or error diagnostics
     (code [T301]) naming the failing step — builder exceptions are caught

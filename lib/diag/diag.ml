@@ -9,6 +9,7 @@ type phase =
   | Completion
   | Codegen
   | Interp
+  | Verify
   | Driver
 
 type span = { line : int }
@@ -40,6 +41,7 @@ let phase_to_string = function
   | Completion -> "completion"
   | Codegen -> "codegen"
   | Interp -> "interp"
+  | Verify -> "verify"
   | Driver -> "driver"
 
 let to_string d =

@@ -19,6 +19,7 @@ type phase =
   | Completion
   | Codegen
   | Interp
+  | Verify
   | Driver
 
 type span = { line : int }

@@ -11,7 +11,14 @@ type token =
   | DO
   | ENDDO
   | PARAMS
+  | IF
+  | THEN
+  | ENDIF
+  | LET
+  | IN
+  | STEP
   | EQUAL
+  | GE
   | DOTDOT
   | LPAREN
   | RPAREN
@@ -90,10 +97,22 @@ let tokenize (src : string) : (token * int) list =
           end
           else push ENDDO
       | "params" | "param" -> push PARAMS
+      | "if" -> push IF
+      | "then" -> push THEN
+      | "endif" -> push ENDIF
+      | "let" -> push LET
+      | "in" -> push IN
+      | "step" -> push STEP
       | _ -> push (IDENT word)
     end
     else begin
       (match c with
+      | '>' ->
+          if !i + 1 < n && src.[!i + 1] = '=' then begin
+            incr i;
+            push GE
+          end
+          else error "line %d: expected '>=' but found a lone '>'" !line
       | '=' -> push EQUAL
       | '(' -> push LPAREN
       | ')' -> push RPAREN
@@ -134,7 +153,14 @@ let token_str = function
   | DO -> "do"
   | ENDDO -> "enddo"
   | PARAMS -> "params"
+  | IF -> "if"
+  | THEN -> "then"
+  | ENDIF -> "endif"
+  | LET -> "let"
+  | IN -> "in"
+  | STEP -> "step"
   | EQUAL -> "="
+  | GE -> ">="
   | DOTDOT -> ".."
   | LPAREN -> "("
   | RPAREN -> ")"
@@ -269,33 +295,59 @@ let linearize_exn st what e =
   | Some a -> a
   | None -> error "line %d: %s must be an affine expression" (cur_line st) what
 
-(* A bound expression: either a plain affine expression, or min(...)/max(...)
-   at top level. *)
-let parse_bound st ~(kind : [ `Lower | `Upper ]) : bound =
-  let keyword = match kind with `Lower -> "max" | `Upper -> "min" in
+(* A bound expression: one term, or min(...)/max(...) of several at top
+   level.  A term is a plain affine expression or ceildiv(e, d) /
+   floordiv(e, d) (the rounding direction is fixed by the bound's
+   position, so the two spellings parse identically).  The natural
+   combiner is max for a lower bound and min for an upper bound; the
+   opposite keyword denotes a covering (union) bound, which code
+   generation emits for loops shared by several statements. *)
+let rec parse_bterm st : bterm =
   match (peek st, peek2 st) with
-  | IDENT name, LPAREN when String.lowercase_ascii name = keyword ->
+  | IDENT name, LPAREN
+    when String.lowercase_ascii name = "ceildiv" || String.lowercase_ascii name = "floordiv"
+    ->
       advance st;
       advance st;
-      let terms = ref [ linearize_exn st "loop bound" (parse_expr st) ] in
+      let num = linearize_exn st "loop bound" (parse_expr st) in
+      expect st COMMA;
+      let den =
+        match peek st with
+        | INT d when d > 0 ->
+            advance st;
+            Mpz.of_int d
+        | t -> error "line %d: expected a positive divisor, found %s" (cur_line st) (token_str t)
+      in
+      expect st RPAREN;
+      { num; den }
+  | LPAREN, _ -> (
+      (* disambiguate "(e) / d" (an exact-quotient term) from a plain
+         parenthesized affine expression *)
+      match parse_expr st with
+      | Ebin (Div, a, Econst d) when Float.is_integer d && d > 0. ->
+          { num = linearize_exn st "loop bound" a; den = Mpz.of_int (int_of_float d) }
+      | e -> bterm (linearize_exn st "loop bound" e))
+  | _ -> bterm (linearize_exn st "loop bound" (parse_expr st))
+
+and parse_bound st ~(kind : [ `Lower | `Upper ]) : bound =
+  let natural = match kind with `Lower -> `Max | `Upper -> `Min in
+  match (peek st, peek2 st) with
+  | IDENT name, LPAREN
+    when String.lowercase_ascii name = "max" || String.lowercase_ascii name = "min" ->
+      let combine = if String.lowercase_ascii name = "max" then `Max else `Min in
+      advance st;
+      advance st;
+      let terms = ref [ parse_bterm st ] in
       while peek st = COMMA do
         advance st;
-        terms := linearize_exn st "loop bound" (parse_expr st) :: !terms
+        terms := parse_bterm st :: !terms
       done;
       expect st RPAREN;
-      {
-        combine = (match kind with `Lower -> `Max | `Upper -> `Min);
-        terms = List.rev_map bterm !terms;
-      }
-  | IDENT name, LPAREN
-    when String.lowercase_ascii name = (match kind with `Lower -> "min" | `Upper -> "max") ->
-      error "line %d: %s(...) is not a valid %s bound" (cur_line st) name
-        (match kind with `Lower -> "lower" | `Upper -> "upper")
-  | _ ->
-      {
-        combine = (match kind with `Lower -> `Max | `Upper -> `Min);
-        terms = [ bterm (linearize_exn st "loop bound" (parse_expr st)) ];
-      }
+      (* when the keyword is the opposite of the natural combiner this is a
+         covering (union) bound; accepted as-is — exactness of the spurious
+         iterations it admits is the verifier's business *)
+      { combine; terms = List.rev !terms }
+  | _ -> { combine = natural; terms = [ parse_bterm st ] }
 
 (* ---- items ---- *)
 
@@ -305,9 +357,41 @@ let fresh_label =
     incr counter;
     Printf.sprintf "S%d" !counter
 
+(* One guard of an [if]: "e >= 0", "e = 0" or "e mod d = 0". *)
+let parse_guard st : guard =
+  let e = parse_expr st in
+  match peek st with
+  | GE ->
+      advance st;
+      (match peek st with
+      | INT 0 -> advance st
+      | t -> error "line %d: a guard must compare against 0, found %s" (cur_line st) (token_str t));
+      Gcmp (`Ge, linearize_exn st "guard" e)
+  | EQUAL ->
+      advance st;
+      (match peek st with
+      | INT 0 -> advance st
+      | t -> error "line %d: a guard must compare against 0, found %s" (cur_line st) (token_str t));
+      Gcmp (`Eq, linearize_exn st "guard" e)
+  | IDENT m when String.lowercase_ascii m = "mod" ->
+      advance st;
+      let d =
+        match peek st with
+        | INT d when d > 0 ->
+            advance st;
+            Mpz.of_int d
+        | t -> error "line %d: expected a positive modulus, found %s" (cur_line st) (token_str t)
+      in
+      expect st EQUAL;
+      (match peek st with
+      | INT 0 -> advance st
+      | t -> error "line %d: a divisibility guard ends in '= 0', found %s" (cur_line st) (token_str t));
+      Gdiv (d, linearize_exn st "guard" e)
+  | t -> error "line %d: expected '>=', '=' or 'mod' in guard, found %s" (cur_line st) (token_str t)
+
 let rec parse_items st : node list =
   match peek st with
-  | EOF | ENDDO -> []
+  | EOF | ENDDO | ENDIF -> []
   | _ ->
       let item = parse_item st in
       item :: parse_items st
@@ -321,9 +405,52 @@ and parse_item st : node =
       let lower = parse_bound st ~kind:`Lower in
       expect st DOTDOT;
       let upper = parse_bound st ~kind:`Upper in
+      let step =
+        if peek st = STEP then begin
+          advance st;
+          match peek st with
+          | INT s when s >= 1 ->
+              advance st;
+              Mpz.of_int s
+          | t -> error "line %d: expected a positive step, found %s" (cur_line st) (token_str t)
+        end
+        else Mpz.one
+      in
       let body = parse_items st in
       expect st ENDDO;
-      Loop { var; lower; upper; step = Mpz.one; body }
+      Loop { var; lower; upper; step; body }
+  | IF ->
+      advance st;
+      expect st LPAREN;
+      let guards = ref [ parse_guard st ] in
+      let continue_ = ref true in
+      while !continue_ do
+        match peek st with
+        | IDENT a when String.lowercase_ascii a = "and" ->
+            advance st;
+            guards := parse_guard st :: !guards
+        | _ -> continue_ := false
+      done;
+      expect st RPAREN;
+      expect st THEN;
+      let body = parse_items st in
+      expect st ENDIF;
+      If (List.rev !guards, body)
+  | LET ->
+      (* "let v = e in" or "let v = (e) / d in"; the binding scopes over
+         the remaining items of the enclosing block *)
+      advance st;
+      let v = expect_ident st in
+      expect st EQUAL;
+      let def =
+        match parse_expr st with
+        | Ebin (Div, a, Econst d) when Float.is_integer d && d > 0. ->
+            { num = linearize_exn st "let binding" a; den = Mpz.of_int (int_of_float d) }
+        | e -> bterm (linearize_exn st "let binding" e)
+      in
+      expect st IN;
+      let body = parse_items st in
+      Let (v, def, body)
   | IDENT _ -> parse_stmt st
   | t -> error "line %d: expected 'do' or a statement, found %s" (cur_line st) (token_str t)
 

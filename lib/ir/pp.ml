@@ -96,3 +96,61 @@ let pp_program fmt (p : program) =
 
 let program_to_string (p : program) = Format.asprintf "%a" pp_program p
 let node_to_string (n : node) = Format.asprintf "@[<v>%a@]" pp_node n
+
+(* Annotated variant: same layout, but a per-path hook can append a
+   comment to loop headers (e.g. "parallel" from the DOALL analysis).
+   Comments are not part of the surface grammar, so this printer does
+   not round-trip; plain pp_program stays the canonical form. *)
+
+let rec pp_node_annot ~annot ~path fmt node =
+  match node with
+  | Stmt _ | Let _ | If _ -> pp_plain ~annot ~path fmt node
+  | Loop l ->
+      let comment =
+        match annot (List.rev path) with
+        | Some c -> Format.asprintf "  /* %s */" c
+        | None -> ""
+      in
+      let header fmt () =
+        if Mpz.is_one l.step then
+          Format.fprintf fmt "do %s = %a..%a" l.var (pp_bound ~round:`Up) l.lower
+            (pp_bound ~round:`Down) l.upper
+        else
+          Format.fprintf fmt "do %s = %a..%a step %a" l.var (pp_bound ~round:`Up) l.lower
+            (pp_bound ~round:`Down) l.upper Mpz.pp l.step
+      in
+      Format.fprintf fmt "@[<v 2>%a%s@,%a@]@,enddo" header () comment
+        (pp_nodes_annot ~annot ~path) l.body
+
+and pp_plain ~annot ~path fmt = function
+  | Stmt s -> pp_stmt fmt s
+  | Let (v, { num; den }, body) ->
+      if Mpz.is_one den then
+        Format.fprintf fmt "@[<v 2>let %s = %a in@,%a@]" v pp_affine num
+          (pp_nodes_annot ~annot ~path) body
+      else
+        Format.fprintf fmt "@[<v 2>let %s = (%a) / %a in@,%a@]" v pp_affine num Mpz.pp den
+          (pp_nodes_annot ~annot ~path) body
+  | If (gs, body) ->
+      Format.fprintf fmt "@[<v 2>if (%a) then@,%a@]@,endif"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " and ") pp_guard)
+        gs
+        (pp_nodes_annot ~annot ~path)
+        body
+  | Loop _ as n -> pp_node_annot ~annot ~path fmt n
+
+and pp_nodes_annot ~annot ~path fmt nodes =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun fmt (i, n) -> pp_node_annot ~annot ~path:(i :: path) fmt n)
+    fmt
+    (List.mapi (fun i n -> (i, n)) nodes)
+
+let pp_program_annot ~annot fmt (p : program) =
+  if p.params <> [] then
+    Format.fprintf fmt "params %a@,"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") Format.pp_print_string)
+      p.params;
+  Format.fprintf fmt "@[<v>%a@]" (pp_nodes_annot ~annot ~path:[]) p.nest
+
+let program_to_string_annot ~annot (p : program) =
+  Format.asprintf "%a" (pp_program_annot ~annot) p

@@ -12,3 +12,13 @@ val pp_node : Format.formatter -> Ast.node -> unit
 val pp_program : Format.formatter -> Ast.program -> unit
 val program_to_string : Ast.program -> string
 val node_to_string : Ast.node -> string
+
+val pp_program_annot :
+  annot:(Ast.path -> string option) -> Format.formatter -> Ast.program -> unit
+(** Like {!pp_program}, but calls [annot] on each loop's path and, when
+    it answers [Some c], appends ["  /* c */"] to the loop header (the
+    DOALL analysis uses this for ["parallel"] marks).  Comments are not
+    part of the surface grammar, so annotated output does not round-trip
+    through the parser. *)
+
+val program_to_string_annot : annot:(Ast.path -> string option) -> Ast.program -> string

@@ -56,3 +56,7 @@ val fresh_var : unit -> string
 (** Fresh auxiliary variable name (reserved ["$w%d"] namespace) from the
     process-global counter; reset by {!begin_analysis}.  Projections use
     their own scoped counter and never consume from this one. *)
+
+val is_wildcard : string -> bool
+(** Does the name live in the reserved wildcard namespace?  True also
+    for renamed copies (["$w3!2"]), which remain existential. *)

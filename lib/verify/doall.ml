@@ -1,0 +1,147 @@
+(* DOALL / race detection: a loop level is parallel when it carries no
+   dependence — no two distinct iterations of the loop (under equal
+   values of the enclosing shared loops) touch the same array cell with
+   at least one write.  This is the standard race-freedom condition: if
+   it holds, the loop's iterations commute and can run concurrently.
+
+   The check is an ILP satisfiability question per conflicting
+   reference pair, built from the execution sets of [Exec] — so it
+   works on generated code (guards, lets, strides, covering bounds)
+   where [Inl_depend.Analysis] (which needs a source-program layout)
+   does not. *)
+
+module Linexpr = Inl_presburger.Linexpr
+module Constr = Inl_presburger.Constr
+module System = Inl_presburger.System
+module Omega = Inl_presburger.Omega
+module Ast = Inl_ir.Ast
+
+type witness = {
+  kind : [ `Write_write | `Read_write ];
+  array : string;
+  src : string;  (** statement label of the first access *)
+  dst : string;
+}
+
+type status =
+  | Parallel
+  | Serial of witness list
+  | Unknown of string
+      (** the analysis could not decide: resource budget exhausted or an
+          execution set that is only representable approximately *)
+
+let satisfiable sys = match System.normalize sys with None -> false | Some s -> Omega.satisfiable s
+
+let kind_to_string = function `Write_write -> "write-write" | `Read_write -> "read-write"
+
+let witness_to_string w =
+  Printf.sprintf "%s conflict on %s between %s and %s" (kind_to_string w.kind) w.array w.src
+    w.dst
+
+(* Is [prefix] a (non-strict) prefix of [path]? *)
+let rec is_prefix prefix path =
+  match (prefix, path) with
+  | [], _ -> true
+  | x :: p, y :: q -> x = y && is_prefix p q
+  | _ :: _, [] -> false
+
+let analyze (prog : Ast.program) : (Ast.path * string * status) list =
+  let params = prog.Ast.params in
+  let occs = Exec.extract prog in
+  let suffix v = if List.mem v params then v else v ^ "!2" in
+  List.map
+    (fun ((lpath, (l : Ast.loop)) : Ast.path * Ast.loop) ->
+      let under = List.filter (fun (o : Exec.occurrence) -> is_prefix lpath o.Exec.path) occs in
+      let witnesses = ref [] in
+      let unknown = ref None in
+      let note_unknown msg = if !unknown = None then unknown := Some msg in
+      let check_pair (o1 : Exec.occurrence) (o2 : Exec.occurrence) =
+        let env1 = (List.hd o1.Exec.ctxts).Exec.env
+        and env2 = (List.hd o2.Exec.ctxts).Exec.env in
+        let refs1 = Exec.refs_of env1 o1.Exec.stmt and refs2 = Exec.refs_of env2 o2.Exec.stmt in
+        (* shared loops strictly enclosing this one run at equal values;
+           this loop's variable differs (either direction). *)
+        let outer_eq =
+          List.filter_map
+            (fun (p, v) ->
+              if List.length p < List.length lpath && is_prefix p lpath then
+                Some (Constr.eq2 (Linexpr.var v) (Linexpr.var (suffix v)))
+              else None)
+            o1.Exec.loops
+        in
+        let carried dir =
+          match dir with
+          | `Lt -> Constr.lt2 (Linexpr.var l.Ast.var) (Linexpr.var (suffix l.Ast.var))
+          | `Gt -> Constr.gt2 (Linexpr.var l.Ast.var) (Linexpr.var (suffix l.Ast.var))
+        in
+        List.iter
+          (fun (w1, a1, idx1) ->
+            if w1 then
+              List.iter
+                (fun (w2, a2, idx2) ->
+                  if a2 = a1 && List.length idx2 = List.length idx1 then
+                    let kind = if w2 then `Write_write else `Read_write in
+                    let already =
+                      List.exists
+                        (fun w ->
+                          w.kind = kind && w.array = a1
+                          && w.src = o1.Exec.stmt.Ast.label
+                          && w.dst = o2.Exec.stmt.Ast.label)
+                        !witnesses
+                    in
+                    if not already then
+                      let subs =
+                        List.map2
+                          (fun r1 r2 -> Exec.raff_eq_constr r1 (Exec.raff_rename suffix r2))
+                          idx1 idx2
+                      in
+                      let conflict (c1 : Exec.ctxt) (c2 : Exec.ctxt) dir =
+                        let sys =
+                          (carried dir :: outer_eq)
+                          @ subs @ c1.Exec.sys
+                          @ System.rename suffix c2.Exec.sys
+                        in
+                        match satisfiable sys with
+                        | true ->
+                            if c1.Exec.exact && c2.Exec.exact then (
+                              let w =
+                                {
+                                  kind;
+                                  array = a1;
+                                  src = o1.Exec.stmt.Ast.label;
+                                  dst = o2.Exec.stmt.Ast.label;
+                                }
+                              in
+                              (* both directions / several contexts can
+                                 witness the same conflict — report once *)
+                              if not (List.mem w !witnesses) then witnesses := w :: !witnesses)
+                            else
+                              note_unknown
+                                (Printf.sprintf
+                                   "possible %s conflict on %s involves an approximated \
+                                    execution set"
+                                   (kind_to_string kind) a1)
+                        | false -> ()
+                        | exception Omega.Blowup _ ->
+                            note_unknown "resource budget exhausted"
+                      in
+                      List.iter
+                        (fun c1 ->
+                          List.iter
+                            (fun c2 ->
+                              conflict c1 c2 `Lt;
+                              conflict c1 c2 `Gt)
+                            o2.Exec.ctxts)
+                        o1.Exec.ctxts)
+                refs2)
+          refs1
+      in
+      List.iter (fun o1 -> List.iter (fun o2 -> check_pair o1 o2) under) under;
+      let status =
+        match (!witnesses, !unknown) with
+        | [], None -> Parallel
+        | [], Some msg -> Unknown msg
+        | ws, _ -> Serial (List.rev ws)
+      in
+      (lpath, l.Ast.var, status))
+    (Exec.loops_of prog)

@@ -1,0 +1,65 @@
+(* Driver: one entry point combining the lint pass, the DOALL analysis
+   and (when a source program is supplied) translation validation. *)
+
+module Ast = Inl_ir.Ast
+module Pp = Inl_ir.Pp
+module Diag = Inl_diag.Diag
+module Omega = Inl_presburger.Omega
+
+type report = {
+  lint : Diag.t list;
+  loops : (Ast.path * string * Doall.status) list;
+  equiv : Diag.t list;
+      (** translation-validation findings; empty when no source program
+          was supplied (or when lint found structural errors) *)
+}
+
+(* Several contexts / branch pairs can degrade or fail the same way;
+   identical (code, message) findings carry no extra information. *)
+let dedup (ds : Diag.t list) : Diag.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (d : Diag.t) ->
+      let k = (d.Diag.code, d.Diag.message) in
+      if Hashtbl.mem seen k then false
+      else (
+        Hashtbl.add seen k ();
+        true))
+    ds
+
+let run ?against (prog : Ast.program) : report =
+  Omega.begin_analysis ();
+  let lint = dedup (Lint.run prog) in
+  (* On a structurally broken program (V005/V007) the execution sets are
+     meaningless; deeper analyses would only cascade. *)
+  let structural = Diag.has_errors lint in
+  let loops = if structural then [] else Doall.analyze prog in
+  let equiv =
+    match against with
+    | Some source when not structural -> dedup (Equiv.check ~source prog)
+    | _ -> []
+  in
+  { lint; loops; equiv }
+
+let diags (r : report) : Diag.t list = r.lint @ r.equiv
+
+(* The input program with "/* parallel */" on every provably parallel
+   loop header. *)
+let annotated (prog : Ast.program) (loops : (Ast.path * string * Doall.status) list) : string =
+  let annot path =
+    match List.find_opt (fun (p, _, _) -> p = path) loops with
+    | Some (_, _, Doall.Parallel) -> Some "parallel"
+    | _ -> None
+  in
+  Pp.program_to_string_annot ~annot prog
+
+let loop_summary (loops : (Ast.path * string * Doall.status) list) : string list =
+  List.map
+    (fun (_, var, status) ->
+      match status with
+      | Doall.Parallel -> Printf.sprintf "loop %s: parallel" var
+      | Doall.Serial ws ->
+          Printf.sprintf "loop %s: serial (%s)" var
+            (String.concat "; " (List.map Doall.witness_to_string ws))
+      | Doall.Unknown msg -> Printf.sprintf "loop %s: unknown (%s)" var msg)
+    loops

@@ -134,3 +134,77 @@ A malformed fault spec is a driver error:
   $ inltool deps chol.loop --inject-faults frob=1
   error[D701] driver: unknown fault key "frob" (every|after|cap)
   [1]
+
+Static verification (inltool verify).  Capture the generated program,
+then validate it against the source: instance-set and dependence-order
+preservation proved by ILP emptiness, DOALL status per loop, exit 0:
+
+  $ inltool apply chol.loop --reorder 0:1,0 --interchange I,J 2>/dev/null \
+  >   | sed -n '/^params/,$p' > trans.loop
+  $ inltool verify trans.loop --against chol.loop
+  params N
+  do t1 = 1..N
+    do t2 = 1..t1 - 1
+      S2: A(t1) = A(t1) / A(t2)
+    enddo
+    S1: A(t1) = sqrt(A(t1))
+  enddo
+  
+  loop t1: serial (read-write conflict on A between S2 and S2; read-write conflict on A between S1 and S2)
+  loop t2: serial (write-write conflict on A between S2 and S2; read-write conflict on A between S2 and S2)
+  
+  statically verified: instance sets and dependence order preserved
+
+A deliberately broken transformed program — the inner bound off by one,
+dropping iterations — is refused with a typed diagnostic and exit 1:
+
+  $ sed 's/t1 - 1/t1 - 2/' trans.loop > dropped.loop
+  $ inltool verify dropped.loop --against chol.loop 2>&1 >/dev/null
+  error[V101] verify: statement S2: some source instances are never executed (dropped iterations)
+  [1]
+
+Lint-only findings exit 2; provably parallel loops are annotated:
+
+  $ cat > deadloop.loop <<'LOOP'
+  > params N
+  > do I = 1..N
+  >   do J = N+1..N
+  >     S1: A(I) = 0
+  >   enddo
+  > enddo
+  > LOOP
+
+  $ inltool verify deadloop.loop
+  params N
+  do I = 1..N  /* parallel */
+    do J = N + 1..N  /* parallel */
+      S1: A(I) = 0
+    enddo
+  enddo
+  
+  loop I: parallel
+  loop J: parallel
+  warning[V001] verify: loop J never executes (empty bounds)
+  [2]
+
+A file that does not parse is an error, not a crash:
+
+  $ printf 'params N\ndo I = 1..\n' > broken.loop
+  $ inltool verify broken.loop
+  error[P101] parse: parse error: line 3: unexpected <eof> in expression
+  [1]
+
+Under an exhausted budget every solver-backed check degrades to a V900
+warning (never an exception) and the run exits 2:
+
+  $ inltool verify trans.loop --against chol.loop --budget 10 >stdout.log 2>stderr.log
+  [2]
+  $ tail -1 stdout.log
+  static verification incomplete (see warnings)
+  $ head -1 stderr.log
+  warning[V900] verify: check skipped (resource budget exhausted): bounds of loop t2
+  $ grep -c 'V900' stderr.log
+  8
+  $ grep -ci backtrace stderr.log
+  0
+  [1]

@@ -102,10 +102,16 @@ let test_parser_dialect () =
       Alcotest.(check int) "two upper terms" 2 (List.length l.Ast.upper.Ast.terms);
       Alcotest.(check bool) "lower is max" true (l.Ast.lower.Ast.combine = `Max)
   | _ -> Alcotest.fail "shape");
-  (* swapped combiners are rejected *)
+  (* the opposite combiner denotes a covering (union) bound — the shape
+     code generation emits for loops shared by several statements — and
+     must round-trip through the parser *)
   (match Parser.parse "do I = min(1,2)..N\n A(I) = 0\nenddo" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "min(...) as a lower bound must be rejected");
+  | Error msg -> Alcotest.fail ("covering lower bound must parse: " ^ msg)
+  | Ok p -> (
+      match p.Ast.nest with
+      | [ Ast.Loop l ] ->
+          Alcotest.(check bool) "lower is a covering min" true (l.Ast.lower.Ast.combine = `Min)
+      | _ -> Alcotest.fail "covering bound shape"));
   (* auto labels are generated and unique *)
   let q = Parser.parse_exn "do I = 1..N\n A(I) = 1\n B(I) = 2\nenddo" in
   let labels = List.map (fun (_, (st : Ast.stmt)) -> st.Ast.label) (Ast.stmts_with_paths q) in

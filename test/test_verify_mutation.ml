@@ -1,0 +1,229 @@
+(* Mutation self-test for the static verifier: perturb real codegen
+   output (off-by-one bounds, dropped guards, swapped siblings, shifted
+   subscripts), classify each mutant against the source program with the
+   interpreter at small sizes, and require that
+
+   - the unmutated output verifies cleanly,
+   - at least 90% of the interpreter-distinguishable mutants are caught
+     by a typed diagnostic, and
+   - no mutant — distinguishable or not — escapes as an uncaught
+     exception.
+
+   A QCheck property additionally samples (kernel, mutant) pairs to keep
+   the no-crash guarantee independent of the enumeration order. *)
+
+module Ast = Inl_ir.Ast
+module Linexpr = Inl_presburger.Linexpr
+module Mpz = Inl_num.Mpz
+module Diag = Inl_diag.Diag
+module Interp = Inl_interp.Interp
+module Verify = Inl_verify.Verify
+
+(* ---- kernels and their generated programs ---- *)
+
+let context src =
+  match Inl.analyze_source_result src with
+  | Ok ctx -> ctx
+  | Error ds -> Alcotest.fail (Diag.list_to_string ds)
+
+let generated ctx steps =
+  match Inl.pipeline ctx steps with
+  | Error ds -> Alcotest.fail (Diag.list_to_string ds)
+  | Ok m -> (
+      match Inl.transform ctx m with
+      | Error ds -> Alcotest.fail (Diag.list_to_string ds)
+      | Ok prog -> prog)
+
+let completed ctx partial =
+  match Inl.complete_result ctx ~partial with
+  | Error ds -> Alcotest.fail (Diag.list_to_string ds)
+  | Ok m -> (
+      match Inl.transform ctx m with
+      | Error ds -> Alcotest.fail (Diag.list_to_string ds)
+      | Ok prog -> prog)
+
+(* (name, source, generated) triples covering the codegen surface:
+   reordered imperfect nest, guarded completion output, strided loop
+   with a Let quotient. *)
+let subjects () =
+  let cholesky =
+    "params N\ndo I = 1..N\n S1: A(I) = sqrt(A(I))\n do J = I+1..N\n  S2: A(J) = A(J) / A(I)\n \
+     enddo\nenddo\n"
+  in
+  let lu =
+    "params N\ndo K = 1..N\n do I = K+1..N\n  S1: A(I,K) = A(I,K) / A(K,K)\n  do J = K+1..N\n   \
+     S2: A(I,J) = A(I,J) - A(I,K) * A(K,J)\n  enddo\n enddo\nenddo\n"
+  in
+  let stride = "params N\ndo I = 1..N\n S1: A(I) = A(I) + 1\nenddo\n" in
+  let c1 = context cholesky in
+  let c2 = context lu in
+  let c3 = context stride in
+  [
+    ( "cholesky",
+      c1.Inl.program,
+      generated c1
+        [
+          Inl.Pipeline.Reorder { parent = [ 0 ]; perm = [ 1; 0 ] };
+          Inl.Pipeline.Interchange ("I", "J");
+        ] );
+    ("row-lu", c2.Inl.program, completed c2 [ Inl.Vec.of_int_list [ 0; 1; 0; 0; 0 ] ]);
+    ("stride", c3.Inl.program, generated c3 [ Inl.Pipeline.Scale ("I", 2) ]);
+  ]
+
+(* ---- mutant enumeration ---- *)
+
+let bump_bterm (bt : Ast.bterm) delta =
+  { bt with Ast.num = Linexpr.add bt.Ast.num (Linexpr.const (Mpz.of_int delta)) }
+
+let bump_bound (b : Ast.bound) delta =
+  match b.Ast.terms with
+  | t :: rest -> { b with Ast.terms = bump_bterm t delta :: rest }
+  | [] -> b
+
+let bump_index (s : Ast.stmt) =
+  match s.Ast.lhs.Ast.index with
+  | e :: rest ->
+      {
+        s with
+        Ast.lhs =
+          { s.Ast.lhs with Ast.index = Linexpr.add e (Linexpr.const (Mpz.of_int 1)) :: rest };
+      }
+  | [] -> s
+
+let rec node_mutants (n : Ast.node) : (string * Ast.node) list =
+  match n with
+  | Ast.Stmt s when s.Ast.lhs.Ast.index <> [] ->
+      [ ("shift lhs subscript of " ^ s.Ast.label, Ast.Stmt (bump_index s)) ]
+  | Ast.Stmt _ -> []
+  | Ast.Loop l ->
+      [
+        ("raise lower bound of " ^ l.Ast.var, Ast.Loop { l with Ast.lower = bump_bound l.Ast.lower 1 });
+        ("raise upper bound of " ^ l.Ast.var, Ast.Loop { l with Ast.upper = bump_bound l.Ast.upper 1 });
+        ("lower upper bound of " ^ l.Ast.var, Ast.Loop { l with Ast.upper = bump_bound l.Ast.upper (-1) });
+      ]
+      @ List.map (fun (d, body) -> (d, Ast.Loop { l with Ast.body = body })) (body_mutants l.Ast.body)
+  | Ast.If (gs, body) ->
+      List.map (fun (d, body') -> (d, Ast.If (gs, body'))) (body_mutants body)
+  | Ast.Let (v, t, body) ->
+      List.map (fun (d, body') -> (d, Ast.Let (v, t, body'))) (body_mutants body)
+
+(* Mutants of a node list: point mutations inside one child, dropping
+   one guard wrapper, and swapping one adjacent sibling pair. *)
+and body_mutants (nodes : Ast.node list) : (string * Ast.node list) list =
+  let at i n' = List.mapi (fun j m -> if j = i then n' else m) nodes in
+  let point =
+    List.concat
+      (List.mapi (fun i n -> List.map (fun (d, n') -> (d, at i n')) (node_mutants n)) nodes)
+  in
+  let unwrap =
+    List.concat
+      (List.mapi
+         (fun i n ->
+           match n with
+           | Ast.If (_, body) ->
+               [
+                 ( "drop guard wrapper",
+                   List.concat (List.mapi (fun j m -> if j = i then body else [ m ]) nodes) );
+               ]
+           | _ -> [])
+         nodes)
+  in
+  let swaps =
+    if List.length nodes < 2 then []
+    else
+      List.concat
+        (List.mapi
+           (fun i _ ->
+             if i + 1 >= List.length nodes then []
+             else
+               [
+                 ( "swap adjacent siblings",
+                   List.mapi
+                     (fun j m ->
+                       if j = i then List.nth nodes (i + 1)
+                       else if j = i + 1 then List.nth nodes i
+                       else m)
+                     nodes );
+               ])
+           nodes)
+  in
+  point @ unwrap @ swaps
+
+let mutants (prog : Ast.program) : (string * Ast.program) list =
+  List.map (fun (d, nest) -> (d, { prog with Ast.nest })) (body_mutants prog.Ast.nest)
+
+(* ---- classification ---- *)
+
+type verdict = { differs : bool; caught : bool; crashed : string option }
+
+let sizes = [ 3; 4 ]
+
+let classify (source : Ast.program) (mutant : Ast.program) : verdict =
+  let differs =
+    List.exists
+      (fun n ->
+        match Interp.equivalent source mutant ~params:[ ("N", n) ] with
+        | Ok () -> false
+        | Error _ -> true
+        | exception _ -> true (* a mutant the interpreter rejects is observably different *))
+      sizes
+  in
+  match Verify.run ~against:source mutant with
+  | report -> { differs; caught = Diag.has_errors (Verify.diags report); crashed = None }
+  | exception e -> { differs; caught = false; crashed = Some (Printexc.to_string e) }
+
+let test_catch_rate () =
+  List.iter
+    (fun (name, source, gen) ->
+      (* the unmutated program must verify cleanly *)
+      let base = Verify.run ~against:source gen in
+      Alcotest.(check (list string))
+        (name ^ ": baseline clean") []
+        (List.map (fun (d : Diag.t) -> d.Diag.code) (Verify.diags base));
+      let ms = mutants gen in
+      Alcotest.(check bool) (name ^ ": mutants generated") true (List.length ms > 3);
+      let verdicts = List.map (fun (d, m) -> (d, classify source m)) ms in
+      List.iter
+        (fun (d, v) ->
+          match v.crashed with
+          | Some e -> Alcotest.fail (Printf.sprintf "%s: mutant %S crashed: %s" name d e)
+          | None -> ())
+        verdicts;
+      let differing = List.filter (fun (_, v) -> v.differs) verdicts in
+      let caught = List.filter (fun (_, v) -> v.caught) differing in
+      let missed = List.filter (fun (_, v) -> not v.caught) differing in
+      List.iter
+        (fun (d, _) -> Printf.printf "%s: missed interp-differing mutant: %s\n" name d)
+        missed;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: some mutants change behavior" name)
+        true
+        (List.length differing > 0);
+      let rate = float_of_int (List.length caught) /. float_of_int (List.length differing) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: catch rate %.2f >= 0.9 (%d/%d)" name rate (List.length caught)
+           (List.length differing))
+        true (rate >= 0.9))
+    (subjects ())
+
+(* QCheck: random sampling over (kernel, mutant index) never crashes and
+   classification is stable. *)
+let test_random_no_crash =
+  let subjects = lazy (subjects ()) in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random mutants never crash the verifier" ~count:120
+       QCheck2.Gen.(pair (int_range 0 2) (int_bound 1000))
+       (fun (si, mi) ->
+         let name, source, gen = List.nth (Lazy.force subjects) si in
+         let ms = mutants gen in
+         let _, m = List.nth ms (mi mod List.length ms) in
+         match classify source m with
+         | { crashed = Some e; _ } -> QCheck2.Test.fail_reportf "%s crashed: %s" name e
+         | { crashed = None; _ } -> true))
+
+let () =
+  Alcotest.run "verify-mutation"
+    [
+      ("catch rate", [ Alcotest.test_case "flags >=90% of differing mutants" `Quick test_catch_rate ]);
+      ("robustness", [ test_random_no_crash ]);
+    ]
