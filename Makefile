@@ -2,7 +2,7 @@
 # full build, test suite, and static verification of the example
 # kernels (examples/kernels/dune).
 
-.PHONY: all build test check clean
+.PHONY: all build test check bench-json clean
 
 all: build
 
@@ -14,6 +14,16 @@ test:
 
 check:
 	dune build @check
+
+# Solver-core benchmark: full-Cholesky analyze + legality + completion +
+# codegen + verify under (cache off/on) x (jobs 1/4); writes
+# BENCH_solver.json with per-config wall time, solver calls, cache hit
+# rate and the baseline-vs-best speedup.  Fails if any configuration's
+# rendered output differs by a byte from the sequential uncached run.
+bench-json:
+	dune build bench/bench_solver.exe
+	./_build/default/bench/bench_solver.exe -o BENCH_solver.json
+	cat BENCH_solver.json
 
 clean:
 	dune clean

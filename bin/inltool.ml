@@ -16,7 +16,10 @@
    message" lines; the exit code is 0 (clean), 1 (error), or 2 (the
    analysis degraded to approximate dependences but the command still
    succeeded).  Resource budgets and fault injection are controlled by
-   --budget / INL_FM_BUDGET and --inject-faults / INL_FAULTS. *)
+   --budget / INL_FM_BUDGET and --inject-faults / INL_FAULTS; the solver
+   core is tuned by --jobs / INL_JOBS (worker domains), --no-cache
+   (disable projection memoization) and --stats (report solver calls,
+   cache hit rate and per-phase wall time to stderr). *)
 
 module Interp = Inl_interp.Interp
 module Verify = Inl_verify.Verify
@@ -65,24 +68,81 @@ let faults_arg =
            among $(b,every=N) (fail every Nth projection), $(b,after=N) (fail all projections \
            after the Nth) and $(b,cap=K) (cap the work budget at K items); $(b,off) disables.")
 
-(* Install budget + fault configuration; an unparsable fault spec is a
-   driver error. *)
-let setup budget faults : (unit, Diag.t list) result =
+let jobs_arg =
+  let env = Cmd.Env.info "INL_JOBS" ~doc:"Default for the $(b,--jobs) option." in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N" ~env
+        ~doc:
+          "Worker domains for the parallel analysis phases (default $(b,1): fully \
+           sequential).  With N > 1, dependence queries, per-dependence legality checks, \
+           completion-search structures and verification pairs fan out over N domains; \
+           results are merged in deterministic order, so the output is byte-identical to a \
+           sequential run.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the Omega projection cache (memoization of canonicalized solver queries). \
+           Results are identical either way; this exists for benchmarking and debugging.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the command, print solver statistics to stderr: solver calls, \
+           projection-cache hit rate, worker domains, and wall time per phase.")
+
+(* Install budget, parallelism, cache and fault configuration; an
+   unparsable fault spec is a driver error.  Returns whether a stats
+   report was requested. *)
+let setup budget faults jobs no_cache stats : (bool, Diag.t list) result =
   (match budget with
   | None -> Inl.Omega.set_default_budget Budget.default
   | Some n -> Inl.Omega.set_default_budget (Budget.with_fm_work Budget.default n));
+  (match jobs with None -> () | Some n -> Inl.Pool.set_jobs n);
+  Inl.Omega.set_cache_enabled (not no_cache);
   match faults with
   | None ->
       Faults.install Faults.none;
-      Ok ()
+      Ok stats
   | Some spec -> (
       match Faults.parse spec with
       | Ok f ->
           Faults.install f;
-          Ok ()
+          Ok stats
       | Error msg -> Error [ Diag.error ~code:"D701" ~phase:Diag.Driver msg ])
 
-let setup_term = Term.(const setup $ budget_arg $ faults_arg)
+let setup_term =
+  Term.(const setup $ budget_arg $ faults_arg $ jobs_arg $ no_cache_arg $ stats_arg)
+
+(* The --stats report: everything needed to judge whether the memoized,
+   parallel solver core is earning its keep. *)
+let report_stats () =
+  let sat, proj = Inl.Omega.solver_calls () in
+  let cs = Inl.Omega.cache_stats () in
+  Printf.eprintf "--- solver stats ---\n";
+  Printf.eprintf "jobs: %d requested, %d effective (capped at the core count)\n"
+    (Inl.Pool.requested_jobs ()) (Inl.Pool.jobs ());
+  Printf.eprintf "solver calls: %d satisfiable, %d project\n" sat proj;
+  Printf.eprintf
+    "projection cache: %d hits, %d misses, %d evictions, %d entries (hit rate %.1f%%)\n"
+    cs.Inl.Cache.hits cs.Inl.Cache.misses cs.Inl.Cache.evictions cs.Inl.Cache.entries
+    (100.0 *. Inl.Cache.hit_rate cs);
+  List.iter
+    (fun (phase, wall, calls) ->
+      Printf.eprintf "phase %-10s %8.3f s (%d call%s)\n" phase wall calls
+        (if calls = 1 then "" else "s"))
+    (Inl.Stats.phases ())
+
+(* Print the report (when requested) without disturbing the exit code. *)
+let finish stats code =
+  if stats then report_stats ();
+  code
 
 (* Shared driver scaffold: run [f ctx] after setup + load, merging exit
    codes (errors dominate, then degradation). *)
@@ -91,14 +151,14 @@ let with_context common file (f : Inl.context -> int) : int =
   | Error ds ->
       print_diags ds;
       1
-  | Ok () -> (
+  | Ok stats -> (
       match load file with
       | Error ds ->
           print_diags ds;
           1
       | Ok ctx ->
           let code = f ctx in
-          if code = 0 then Diag.exit_code ctx.Inl.diags else code)
+          finish stats (if code = 0 then Diag.exit_code ctx.Inl.diags else code))
 
 let file_arg = Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE")
 
@@ -336,7 +396,7 @@ let verify_cmd =
     | Error ds ->
         print_diags ds;
         1
-    | Ok () -> (
+    | Ok stats -> (
         match parse_only file with
         | Error ds ->
             print_diags ds;
@@ -366,7 +426,7 @@ let verify_cmd =
                          "\nstatically verified: instance sets and dependence order preserved\n"
                    | Some _, true -> Printf.printf "\nstatic verification incomplete (see warnings)\n"
                    | None, _ -> ());
-                Diag.exit_code ds))
+                finish stats (Diag.exit_code ds)))
   in
   let against =
     Arg.(
@@ -393,7 +453,7 @@ let run_cmd =
     | Error ds ->
         print_diags ds;
         1
-    | Ok () -> (
+    | Ok stats -> (
         (* Parse-only on purpose: generated programs (If/Let nodes) have no
            instance-vector layout but interpret fine. *)
         match parse_only file with
@@ -413,7 +473,7 @@ let run_cmd =
                       (String.concat "," (List.map string_of_int idx))
                       v)
                   (List.sort compare cells);
-                0))
+                finish stats 0))
   in
   Cmd.v
     (Cmd.info "run"

@@ -6,6 +6,7 @@ module Interval = Inl_presburger.Interval
 module Ast = Inl_ir.Ast
 module Dep = Inl_depend.Dep
 module Layout = Inl_instance.Layout
+module Pool = Inl_parallel.Pool
 
 type options = { allow_reorder : bool; allow_reversal : bool; max_nodes : int }
 
@@ -155,8 +156,11 @@ let prefix_class (coords : Interval.t list) : prune =
 let complete ?(options = default_options) ?(goal = fun _ -> true) (layout : Layout.t)
     (deps : Dep.t list) ~(partial : Vec.t list) : Mat.t option =
   let n = Layout.size layout in
-  let nodes_budget = ref options.max_nodes in
   let allowed_tbl = allowed_columns layout in
+  (* Per-dependence legality verdicts, shared across every candidate of
+     every structure: leaf checks on candidates that agree on the rows a
+     dependence reads become table lookups. *)
+  let lcache = Legality.make_cache () in
   let loop_cols =
     Array.to_list layout.Layout.positions
     |> List.mapi (fun i p -> (i, p))
@@ -165,7 +169,12 @@ let complete ?(options = default_options) ?(goal = fun _ -> true) (layout : Layo
   let structures =
     if options.allow_reorder then reorder_matrices layout else [ Mat.identity n ]
   in
-  let try_structure (r : Mat.t) : Mat.t option =
+  let try_structure ?(abort = fun () -> false) (r : Mat.t) : Mat.t option =
+    (* The node budget is per structure — not shared across the structure
+       list — so the search inside one structure is independent of how
+       many structures precede it and of whether structures are explored
+       sequentially or in parallel. *)
+    let nodes_budget = ref options.max_nodes in
     match Blockstruct.infer layout r with
     | Error _ -> None
     | Ok st ->
@@ -232,7 +241,7 @@ let complete ?(options = default_options) ?(goal = fun _ -> true) (layout : Layo
             | [] ->
                 (* authoritative check *)
                 if Gauss.is_nonsingular m && goal m then
-                  match Legality.check layout m deps with
+                  match Legality.check ~cache:lcache layout m deps with
                   | Legality.Legal _ -> Some (Mat.copy m)
                   | Legality.Illegal _ -> None
                 else None
@@ -254,7 +263,7 @@ let complete ?(options = default_options) ?(goal = fun _ -> true) (layout : Layo
                 let rec try_cands = function
                   | [] -> None
                   | row :: more ->
-                      if !nodes_budget <= 0 then None
+                      if !nodes_budget <= 0 || abort () then None
                       else begin
                         decr nodes_budget;
                         (* independence w.r.t. already assigned rows *)
@@ -294,9 +303,37 @@ let complete ?(options = default_options) ?(goal = fun _ -> true) (layout : Layo
           assign todo
         end
   in
-  let rec over_structures = function
-    | [] -> None
-    | r :: rest -> (
-        match try_structure r with Some m -> Some m | None -> over_structures rest)
-  in
-  over_structures structures
+  if Pool.jobs () = 1 then begin
+    (* sequential: stop at the first structure that completes *)
+    let rec over_structures = function
+      | [] -> None
+      | r :: rest -> (
+          match try_structure r with Some m -> Some m | None -> over_structures rest)
+    in
+    over_structures structures
+  end
+  else begin
+    (* parallel: keep the first success in structure order — the same
+       answer the sequential loop returns (per-structure node budgets
+       make each exploration independent).  [winner] holds the lowest
+       structure index known to succeed; structures after it abort their
+       search early, structures before it always run to completion, so
+       the selected matrix never depends on timing. *)
+    let winner = Atomic.make max_int in
+    let rec cas_min i =
+      let cur = Atomic.get winner in
+      if i < cur && not (Atomic.compare_and_set winner cur i) then cas_min i
+    in
+    let results =
+      Pool.map
+        (fun (idx, r) ->
+          if Atomic.get winner < idx then None
+          else begin
+            let res = try_structure ~abort:(fun () -> Atomic.get winner < idx) r in
+            (match res with Some _ -> cas_min idx | None -> ());
+            res
+          end)
+        (List.mapi (fun i r -> (i, r)) structures)
+    in
+    List.find_map Fun.id results
+  end

@@ -23,7 +23,10 @@ module Layout = Inl_instance.Layout
 type options = {
   allow_reorder : bool;  (** search over statement reorderings (default true) *)
   allow_reversal : bool;  (** include [-e_c] candidate rows (default true) *)
-  max_nodes : int;  (** backtracking budget (default 200000) *)
+  max_nodes : int;
+      (** backtracking budget {e per structure} (default 200000), so each
+          structure's search is independent of how many precede it and of
+          whether structures are explored sequentially or in parallel *)
 }
 
 val default_options : options
@@ -36,7 +39,11 @@ val complete :
   partial:Vec.t list ->
   Mat.t option
 (** [None] when the search space contains no legal completion meeting
-    [goal] (default: any), or the budget ran out. *)
+    [goal] (default: any), or the budget ran out.  When the
+    {!Inl_parallel.Pool} is configured with more than one job the
+    structures are explored concurrently and the first success in
+    structure order is returned — the same matrix the sequential search
+    finds.  Leaf legality checks share a per-call {!Legality.cache}. *)
 
 val reorder_matrices : Layout.t -> Mat.t list
 (** All pure statement-reordering matrices of the program (the identity

@@ -43,7 +43,10 @@ module Vec = Inl_linalg.Vec
 module Diag = Inl_diag.Diag
 module Budget = Inl_diag.Budget
 module Faults = Inl_diag.Faults
+module Stats = Inl_diag.Stats
 module Omega = Inl_presburger.Omega
+module Cache = Inl_presburger.Cache
+module Pool = Inl_parallel.Pool
 
 type context = {
   program : Ast.program;
@@ -60,9 +63,10 @@ let degraded (ctx : context) = List.exists (fun (d : Dep.t) -> d.Dep.approximate
     budget exhaustion — degraded levels surface as approximate
     dependences plus warnings in [diags]. *)
 let analyze ?padding (program : Ast.program) : context =
-  let layout = Layout.of_program ?padding program in
-  let deps, diags = Analysis.dependences_diag layout in
-  { program; layout; deps; diags }
+  Stats.timed "analysis" (fun () ->
+      let layout = Layout.of_program ?padding program in
+      let deps, diags = Analysis.dependences_diag layout in
+      { program; layout; deps; diags })
 
 let analyze_source ?padding (src : string) : context = analyze ?padding (Parser.parse_exn src)
 
@@ -76,7 +80,8 @@ let analyze_source_result ?padding (src : string) : (context, Diag.t list) resul
       | ctx -> Ok ctx
       | exception Invalid_argument msg -> Error [ Diag.error ~code:"Y102" ~phase:Diag.Layout msg ])
 
-let check (ctx : context) (m : Mat.t) : Legality.verdict = Legality.check ctx.layout m ctx.deps
+let check (ctx : context) (m : Mat.t) : Legality.verdict =
+  Stats.timed "legality" (fun () -> Legality.check ~jobs:(Pool.jobs ()) ctx.layout m ctx.deps)
 
 (** Generate the transformed program for a legal matrix; [simplify]
     (default true) applies the cleanup pass of Section 5.5.  Errors are
@@ -90,8 +95,9 @@ let transform (ctx : context) ?(simplify = true) (m : Mat.t) : (Ast.program, Dia
       Error [ Diag.error ~code:"L302" ~phase:Diag.Legality ("illegal transformation: " ^ msg) ]
   | Legality.Legal { structure; unsatisfied } -> (
       match
-        let prog = Codegen.generate structure ~unsatisfied in
-        if simplify then Simplify.simplify prog else prog
+        Stats.timed "codegen" (fun () ->
+            let prog = Codegen.generate structure ~unsatisfied in
+            if simplify then Simplify.simplify prog else prog)
       with
       | prog -> Ok prog
       | exception Codegen.Codegen_error msg ->
@@ -109,7 +115,7 @@ let transform_exn ctx ?simplify m =
 (** The completion procedure (Section 6): extend the given first rows to
     a full legal transformation. *)
 let complete ?options (ctx : context) ~(partial : Vec.t list) : Mat.t option =
-  Completion.complete ?options ctx.layout ctx.deps ~partial
+  Stats.timed "completion" (fun () -> Completion.complete ?options ctx.layout ctx.deps ~partial)
 
 (** Result-typed completion: search failures and internal errors come
     back as diagnostics ([C401] no completion, [C402] internal). *)

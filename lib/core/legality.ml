@@ -1,7 +1,9 @@
 module Mat = Inl_linalg.Mat
+module Vec = Inl_linalg.Vec
 module Interval = Inl_presburger.Interval
 module Dep = Inl_depend.Dep
 module Layout = Inl_instance.Layout
+module Pool = Inl_parallel.Pool
 
 type verdict =
   | Legal of { structure : Blockstruct.t; unsatisfied : Dep.t list }
@@ -39,50 +41,119 @@ let classify (p : Interval.t array) : lex_class =
   in
   go 0
 
-let check (layout : Layout.t) (m : Mat.t) (deps : Dep.t list) : verdict =
+(* Per-dependence outcome; [Dep_violated] carries the Illegal message. *)
+type dep_verdict = Dep_satisfied | Dep_unsatisfied | Dep_violated of string
+
+(* Everything the verdict of one dependence reads from the candidate: the
+   matrix rows at the new positions of its common loops (outer-to-inner),
+   and (for cross-statement dependences) whether the source precedes the
+   target in the transformed AST.  Memoizing on this tuple lets the
+   completion search reuse verdicts across candidate matrices that share
+   the relevant rows.  All components are canonical values (Mpz is
+   sign-magnitude without redundant forms), so polymorphic hashing and
+   equality are exact. *)
+type dep_key = { k_dep : Dep.t; k_rows : Vec.t list; k_src_precedes : bool }
+
+type cache = { lock : Mutex.t; tbl : (dep_key, dep_verdict) Hashtbl.t }
+
+let make_cache () = { lock = Mutex.create (); tbl = Hashtbl.create 256 }
+
+let row_coord (row : Vec.t) (d : Dep.t) : Interval.t =
+  let acc = ref (Interval.point Inl_num.Mpz.zero) in
+  Array.iteri (fun j dj -> acc := Interval.add !acc (Interval.scale row.(j) dj)) d.Dep.vector;
+  !acc
+
+let classify_key (k : dep_key) : dep_verdict =
+  let d = k.k_dep in
+  let p = Array.of_list (List.map (fun row -> row_coord row d) k.k_rows) in
+  match classify p with
+  | Satisfied -> Dep_satisfied
+  | Violated ->
+      Dep_violated
+        (Format.asprintf "dependence %a maps to a possibly lexicographically negative vector"
+           Dep.pp d)
+  | Possibly_zero ->
+      if String.equal d.src d.dst then Dep_unsatisfied
+      else if k.k_src_precedes then Dep_satisfied
+      else
+        Dep_violated
+          (Format.asprintf
+             "dependence %a can collapse to equal common-loop iterations, but %s does not \
+              precede %s in the transformed program"
+             Dep.pp d d.src d.dst)
+
+let classify_dep ?cache (layout : Layout.t) (structure : Blockstruct.t) (m : Mat.t)
+    (d : Dep.t) : dep_verdict =
+  let s_src = Layout.stmt_info layout d.src and s_dst = Layout.stmt_info layout d.dst in
+  (* common loops in the transformed program: map old loop positions,
+     then order by new position (outer-to-inner) *)
+  let commons =
+    Layout.common_loop_positions layout s_src s_dst
+    |> List.map (fun old_pos -> structure.Blockstruct.old_to_new.(old_pos))
+    |> List.sort compare
+  in
+  let src_precedes =
+    String.equal d.src d.dst
+    ||
+    let p_src = Blockstruct.map_path structure s_src.Layout.path in
+    let p_dst = Blockstruct.map_path structure s_dst.Layout.path in
+    Inl_ir.Ast.syntactic_compare p_src p_dst < 0
+  in
+  let key =
+    {
+      k_dep = d;
+      (* copied: candidate matrices are mutated in place by the search,
+         and a key must not change under a stored entry *)
+      k_rows = List.map (fun i -> Vec.copy (Mat.row m i)) commons;
+      k_src_precedes = src_precedes;
+    }
+  in
+  match cache with
+  | None -> classify_key key
+  | Some c ->
+      Mutex.protect c.lock (fun () ->
+          match Hashtbl.find_opt c.tbl key with
+          | Some v -> v
+          | None ->
+              let v = classify_key key in
+              Hashtbl.add c.tbl key v;
+              v)
+
+let check ?(jobs = 1) ?cache (layout : Layout.t) (m : Mat.t) (deps : Dep.t list) : verdict =
   match Blockstruct.infer layout m with
   | Error msg -> Illegal ("block structure: " ^ msg)
-  | Ok structure -> (
-      let unsatisfied = ref [] in
-      let offending = ref None in
-      List.iter
-        (fun (d : Dep.t) ->
-          if !offending = None then begin
-            let td = transformed_vector m d in
-            let s_src = Layout.stmt_info layout d.src and s_dst = Layout.stmt_info layout d.dst in
-            (* common loops in the transformed program: map old loop
-               positions, then order by new position (outer-to-inner) *)
-            let common_new =
-              Layout.common_loop_positions layout s_src s_dst
-              |> List.map (fun old_pos -> structure.Blockstruct.old_to_new.(old_pos))
-              |> List.sort compare
-            in
-            let p = Array.of_list (List.map (fun i -> td.(i)) common_new) in
-            match classify p with
-            | Satisfied -> ()
-            | Violated ->
-                offending :=
-                  Some
-                    (Format.asprintf
-                       "dependence %a maps to a possibly lexicographically negative vector" Dep.pp d)
-            | Possibly_zero ->
-                if String.equal d.src d.dst then unsatisfied := d :: !unsatisfied
-                else begin
-                  (* syntactic order in the new AST must carry it *)
-                  let p_src = Blockstruct.map_path structure s_src.Layout.path in
-                  let p_dst = Blockstruct.map_path structure s_dst.Layout.path in
-                  if Inl_ir.Ast.syntactic_compare p_src p_dst >= 0 then
-                    offending :=
-                      Some
-                        (Format.asprintf
-                           "dependence %a can collapse to equal common-loop iterations, but %s \
-                            does not precede %s in the transformed program"
-                           Dep.pp d d.src d.dst)
-                end
-          end)
-        deps;
-      match !offending with
-      | Some msg -> Illegal msg
-      | None -> Legal { structure; unsatisfied = List.rev !unsatisfied })
+  | Ok structure ->
+      let finish verdicts =
+        (* first offender in dependence order, whatever the schedule *)
+        let rec scan unsat = function
+          | [] -> Legal { structure; unsatisfied = List.rev unsat }
+          | (d, v) :: rest -> (
+              match v with
+              | Dep_satisfied -> scan unsat rest
+              | Dep_unsatisfied -> scan (d :: unsat) rest
+              | Dep_violated msg -> Illegal msg)
+        in
+        scan [] verdicts
+      in
+      if jobs > 1 then
+        finish
+          (Pool.map ~jobs (fun d -> (d, classify_dep ?cache layout structure m d)) deps)
+      else begin
+        (* sequential path: stop classifying at the first violation *)
+        let exception Offender of string in
+        try
+          let unsat =
+            List.fold_left
+              (fun unsat d ->
+                match classify_dep ?cache layout structure m d with
+                | Dep_satisfied -> unsat
+                | Dep_unsatisfied -> d :: unsat
+                | Dep_violated msg -> raise (Offender msg))
+              [] deps
+          in
+          Legal { structure; unsatisfied = List.rev unsat }
+        with Offender msg -> Illegal msg
+      end
 
-let is_legal layout m deps = match check layout m deps with Legal _ -> true | Illegal _ -> false
+let is_legal ?jobs ?cache layout m deps =
+  match check ?jobs ?cache layout m deps with Legal _ -> true | Illegal _ -> false

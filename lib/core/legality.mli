@@ -25,6 +25,20 @@ type verdict =
 val transformed_vector : Mat.t -> Dep.t -> Interval.t array
 (** [M . d] by exact interval arithmetic, indexed by new positions. *)
 
-val check : Layout.t -> Mat.t -> Dep.t list -> verdict
+type cache
+(** Memo of per-dependence verdicts, keyed on exactly what a verdict
+    reads: the dependence, the new positions of its common loops, the
+    matrix rows at those positions, and the transformed syntactic order
+    of its endpoints.  The completion search shares one across candidate
+    matrices (which differ in few rows), turning repeated leaf checks
+    into lookups.  Safe for concurrent use. *)
 
-val is_legal : Layout.t -> Mat.t -> Dep.t list -> bool
+val make_cache : unit -> cache
+
+val check : ?jobs:int -> ?cache:cache -> Layout.t -> Mat.t -> Dep.t list -> verdict
+(** With [jobs > 1] the per-dependence classifications fan out over
+    {!Inl_parallel.Pool}; the verdict is schedule-independent (the first
+    offender in dependence order is reported, and the sequential path
+    stops classifying at it). *)
+
+val is_legal : ?jobs:int -> ?cache:cache -> Layout.t -> Mat.t -> Dep.t list -> bool

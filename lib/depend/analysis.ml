@@ -10,6 +10,7 @@ module Ast = Inl_ir.Ast
 module Meval = Inl_ir.Meval
 module Layout = Inl_instance.Layout
 module Diag = Inl_diag.Diag
+module Pool = Inl_parallel.Pool
 
 (* ---- access collection ---- *)
 
@@ -116,7 +117,7 @@ let conservative_vector layout common_positions (lvl : Dep.level) : Interval.t a
         common_positions);
   v
 
-let analyze_pair ?(warn = fun (_ : Diag.t) -> ()) layout (s_src : Layout.stmt_info)
+let analyze_pair ?ctx ?(warn = fun (_ : Diag.t) -> ()) layout (s_src : Layout.stmt_info)
     (s_dst : Layout.stmt_info) (acc_src : Ast.aref) (acc_dst : Ast.aref) (kind : Dep.kind) :
     Dep.t list =
   if not (String.equal acc_src.array acc_dst.array) then []
@@ -155,11 +156,11 @@ let analyze_pair ?(warn = fun (_ : Diag.t) -> ()) layout (s_src : Layout.stmt_in
           (fun lvl ->
             let exact () =
               let sys = System.of_list (base @ order_constraints common rn_s rn_t lvl) in
-              if not (Omega.satisfiable sys) then None
+              if not (Omega.satisfiable ?ctx sys) then None
               else begin
                 let vector =
                   Array.init (Layout.size layout) (fun p ->
-                      Omega.implied_interval sys (delta_var p))
+                      Omega.implied_interval ?ctx sys (delta_var p))
                 in
                 Some (mk lvl vector false)
               end
@@ -179,11 +180,14 @@ let analyze_pair ?(warn = fun (_ : Diag.t) -> ()) layout (s_src : Layout.stmt_in
   end
 
 let dependences_diag (layout : Layout.t) : Dep.t list * Diag.t list =
-  Omega.begin_analysis ();
-  let diags = ref [] in
-  let warn d = diags := d :: !diags in
+  let ctx = Omega.new_analysis () in
   let stmts = layout.stmts in
-  let deps =
+  (* One task per conflicting reference pair, in traversal order.  Each
+     task is independent (its own diagnostic accumulator; the solver ctx
+     is domain-safe), so the pool may run them on any schedule; merging in
+     task order keeps diagnostics deterministic, and the final sort makes
+     the dependence list schedule-independent. *)
+  let tasks =
     List.concat_map
       (fun s_src ->
         List.concat_map
@@ -199,13 +203,21 @@ let dependences_diag (layout : Layout.t) : Dep.t list * Diag.t list =
                   (fun w -> List.map (fun w' -> (w, w', Dep.Output)) (writes_of s_dst))
                   (writes_of s_src)
             in
-            List.concat_map
-              (fun (a_src, a_dst, kind) -> analyze_pair ~warn layout s_src s_dst a_src a_dst kind)
-              pairs)
+            List.map (fun (a_src, a_dst, kind) -> (s_src, s_dst, a_src, a_dst, kind)) pairs)
           stmts)
       stmts
   in
-  (deps, List.rev !diags)
+  let results =
+    Pool.map
+      (fun (s_src, s_dst, a_src, a_dst, kind) ->
+        let diags = ref [] in
+        let warn d = diags := d :: !diags in
+        let deps = analyze_pair ~ctx ~warn layout s_src s_dst a_src a_dst kind in
+        (deps, List.rev !diags))
+      tasks
+  in
+  let deps = List.concat_map fst results |> List.stable_sort Dep.compare in
+  (deps, List.concat_map snd results)
 
 let dependences (layout : Layout.t) : Dep.t list = fst (dependences_diag layout)
 

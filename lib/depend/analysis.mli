@@ -26,8 +26,9 @@ val reads_of : Layout.stmt_info -> Inl_ir.Ast.aref list
 val writes_of : Layout.stmt_info -> Inl_ir.Ast.aref list
 
 val dependences : Layout.t -> Dep.t list
-(** All dependences of the program underlying the layout, in a
-    deterministic order (by statement pair, kind, then level).  Never
+(** All dependences of the program underlying the layout, sorted by
+    {!Dep.compare} — (src, dst, array, kind, level, vector) — so
+    sequential and parallel runs byte-match.  Never
     raises on resource exhaustion: when a projection blows its budget
     (or an {!Inl_diag.Faults} failure is injected), the affected level is
     reported as a conservative {e approximate} dependence — direction
@@ -36,9 +37,11 @@ val dependences : Layout.t -> Dep.t list
 
 val dependences_diag : Layout.t -> Dep.t list * Inl_diag.Diag.t list
 (** Like {!dependences}, also returning one warning diagnostic (code
-    [A201]) per approximate dependence.  Calls
-    {!Inl_presburger.Omega.begin_analysis} first, so results are
-    deterministic across repeated runs in one process. *)
+    [A201]) per approximate dependence, in reference-pair traversal
+    order.  Runs on a fresh {!Inl_presburger.Omega.new_analysis} context
+    (per-analysis projection counter, shared query cache), fanning the
+    per-reference-pair queries out over the {!Inl_parallel.Pool}; results
+    are deterministic across repeated runs and worker counts. *)
 
 val self_dependences : Dep.t list -> string -> Dep.t list
 (** Dependences whose source and target are both the given statement. *)

@@ -16,6 +16,23 @@ type t = {
 
 let kind_to_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
 
+let kind_rank = function Flow -> 0 | Anti -> 1 | Output -> 2
+let level_rank = function Independent -> (0, 0) | Carried k -> (1, k)
+
+(* Total deterministic order used to sort analyzer output, so parallel
+   and sequential runs produce identical listings.  Interval bounds are
+   canonical (Mpz is sign-magnitude with no redundant forms), so the
+   structural tie-break on vectors is schedule-independent. *)
+let compare a b =
+  let ( <?> ) c k = if c <> 0 then c else k () in
+  String.compare a.src b.src <?> fun () ->
+  String.compare a.dst b.dst <?> fun () ->
+  String.compare a.array b.array <?> fun () ->
+  Int.compare (kind_rank a.kind) (kind_rank b.kind) <?> fun () ->
+  Stdlib.compare (level_rank a.level) (level_rank b.level) <?> fun () ->
+  Stdlib.compare a.vector b.vector <?> fun () ->
+  Bool.compare a.approximate b.approximate
+
 let level_to_string = function
   | Independent -> "independent"
   | Carried k -> Printf.sprintf "carried(%d)" k

@@ -30,6 +30,11 @@ type t = {
           legality stays sound (it can only reject more) *)
 }
 
+val compare : t -> t -> int
+(** Total deterministic order: (src, dst, array, kind, level, vector,
+    approximate).  Analyzer output is sorted with it so parallel and
+    sequential runs byte-match. *)
+
 val kind_to_string : kind -> string
 val level_to_string : level -> string
 val pp : Format.formatter -> t -> unit

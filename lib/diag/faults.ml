@@ -33,25 +33,31 @@ let to_string t =
   | [] -> "off"
   | fs -> String.concat "," fs
 
-let state = ref none
-let projections = ref 0
+(* Atomics rather than plain refs: [project_should_fail] is consulted from
+   worker domains when the solver fans out.  The counter is a single
+   fetch-and-add, so the injected-failure schedule stays exact (every Nth
+   call fails) even though which *task* sees the Nth call may vary; callers
+   that need a reproducible schedule run with jobs=1 (the caches are also
+   bypassed while faults are active). *)
+let state = Atomic.make none
+let projections = Atomic.make 0
 
 let install t =
-  state := t;
-  projections := 0
+  Atomic.set state t;
+  Atomic.set projections 0
 
-let current () = !state
-let active () = !state <> none
-let reset_counters () = projections := 0
+let current () = Atomic.get state
+let active () = Atomic.get state <> none
+let reset_counters () = Atomic.set projections 0
 
 let project_should_fail () =
   if not (active ()) then false
   else begin
-    incr projections;
-    let t = !state in
-    (match t.fail_every with Some n when n > 0 -> !projections mod n = 0 | _ -> false)
-    || match t.fail_after with Some n -> !projections > n | None -> false
+    let n = 1 + Atomic.fetch_and_add projections 1 in
+    let t = Atomic.get state in
+    (match t.fail_every with Some k when k > 0 -> n mod k = 0 | _ -> false)
+    || match t.fail_after with Some k -> n > k | None -> false
   end
 
 let effective_work limit =
-  match (!state).cap_work with Some k -> min k limit | None -> limit
+  match (Atomic.get state).cap_work with Some k -> min k limit | None -> limit

@@ -1,0 +1,28 @@
+type phase = { mutable wall_s : float; mutable calls : int }
+
+let lock = Mutex.create ()
+let phases_tbl : (string, phase) Hashtbl.t = Hashtbl.create 8
+
+let add name dt =
+  Mutex.protect lock (fun () ->
+      let p =
+        match Hashtbl.find_opt phases_tbl name with
+        | Some p -> p
+        | None ->
+            let p = { wall_s = 0.0; calls = 0 } in
+            Hashtbl.add phases_tbl name p;
+            p
+      in
+      p.wall_s <- p.wall_s +. dt;
+      p.calls <- p.calls + 1)
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add name (Unix.gettimeofday () -. t0)) f
+
+let phases () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name p acc -> (name, p.wall_s, p.calls) :: acc) phases_tbl []
+      |> List.sort compare)
+
+let reset () = Mutex.protect lock (fun () -> Hashtbl.reset phases_tbl)

@@ -1,0 +1,15 @@
+(** Process-wide wall-time accounting per pipeline phase, feeding
+    [inltool --stats] and the solver benchmark.  Thread-safe (one mutex);
+    timings are cumulative until {!reset}. *)
+
+val timed : string -> (unit -> 'a) -> 'a
+(** [timed phase f] runs [f], charging its wall time to [phase] (also on
+    exception). *)
+
+val add : string -> float -> unit
+(** Charge [dt] seconds to a phase directly. *)
+
+val phases : unit -> (string * float * int) list
+(** [(phase, total_wall_seconds, timed_calls)], sorted by phase name. *)
+
+val reset : unit -> unit

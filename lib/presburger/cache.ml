@@ -1,0 +1,99 @@
+module Budget = Inl_diag.Budget
+
+module Key = struct
+  type t = { sys : System.t; kept : string list; budget : Budget.t }
+
+  let equal a b =
+    System.equal a.sys b.sys
+    && List.equal String.equal a.kept b.kept
+    (* Budget.t is a flat record of ints, so structural comparison and
+       [Hashtbl.hash] are exact. *)
+    && a.budget = b.budget
+
+  let hash k =
+    let h = System.hash k.sys in
+    let h = List.fold_left (fun acc v -> (acc * 31) + Hashtbl.hash v) h k.kept in
+    (h * 31) + Hashtbl.hash k.budget
+end
+
+module H = Hashtbl.Make (Key)
+
+(* Two-generation (S3-FIFO-ish) eviction: inserts go to [young]; when
+   [young] fills, it becomes [old] and the previous [old] is discarded.
+   A hit in [old] promotes the entry back to [young].  Entries therefore
+   survive at least one and at most two generations without a hit, with
+   O(1) worst-case maintenance — no LRU list to rebalance under the lock. *)
+type t = {
+  mutable young : System.t list H.t;
+  mutable old : System.t list H.t;
+  capacity : int;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ?(max_entries = 4096) () =
+  let capacity = max 1 max_entries in
+  {
+    young = H.create 256;
+    old = H.create 256;
+    capacity;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let key ~sys ~kept ~budget = { Key.sys; kept; budget }
+
+let find t ~sys ~kept ~budget =
+  let k = key ~sys ~kept ~budget in
+  Mutex.protect t.lock (fun () ->
+      match H.find_opt t.young k with
+      | Some v ->
+          Atomic.incr t.hits;
+          Some v
+      | None -> (
+          match H.find_opt t.old k with
+          | Some v ->
+              H.remove t.old k;
+              H.replace t.young k v;
+              Atomic.incr t.hits;
+              Some v
+          | None ->
+              Atomic.incr t.misses;
+              None))
+
+let add t ~sys ~kept ~budget value =
+  let k = key ~sys ~kept ~budget in
+  Mutex.protect t.lock (fun () ->
+      if H.length t.young >= t.capacity then begin
+        Atomic.set t.evictions (Atomic.get t.evictions + H.length t.old);
+        t.old <- t.young;
+        t.young <- H.create 256
+      end;
+      H.replace t.young k value)
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      H.reset t.young;
+      H.reset t.old;
+      Atomic.set t.hits 0;
+      Atomic.set t.misses 0;
+      Atomic.set t.evictions 0)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = Atomic.get t.hits;
+        misses = Atomic.get t.misses;
+        evictions = Atomic.get t.evictions;
+        entries = H.length t.young + H.length t.old;
+      })
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

@@ -1,0 +1,40 @@
+(** Memoization of Omega projection queries.
+
+    Keys are the {e canonical} constraint system ({!System.canonicalize}:
+    gcd-tightened, constant-folded, sorted, deduplicated), the sorted list
+    of answer variables actually kept, and the full resource budget.
+    Including the budget makes a cached value bit-identical to what the
+    engine would recompute: a query that would [Blowup] under a smaller
+    budget can never hit an entry computed under a larger one.  Failed
+    (raising) projections are never stored.
+
+    The structure is safe for concurrent use from multiple domains — one
+    mutex around a two-generation hash table (inserts fill a young
+    generation; filling it retires the old one, so an entry unused for two
+    generations is evicted in O(1)) — and keeps hit/miss/eviction counters
+    for [inltool --stats]. *)
+
+module Budget = Inl_diag.Budget
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] (default 4096, clamped to >= 1) is the size of each
+    generation; resident entries are bounded by twice that. *)
+
+val find :
+  t -> sys:System.t -> kept:string list -> budget:Budget.t -> System.t list option
+(** [sys] must be canonical and [kept] sorted for hits to occur. *)
+
+val add :
+  t -> sys:System.t -> kept:string list -> budget:Budget.t -> System.t list -> unit
+
+val clear : t -> unit
+(** Drops all entries and zeroes the counters. *)
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** Hits over lookups; [0.0] when no lookups happened. *)

@@ -57,6 +57,10 @@ let compare a b =
   | Eq _, Ge _ -> 1
   | Ge x, Ge y | Eq x, Eq y -> Linexpr.compare x y
 
+let hash = function
+  | Ge e -> 2 * Linexpr.hash e
+  | Eq e -> (2 * Linexpr.hash e) + 1
+
 let pp fmt = function
   | Ge e -> Format.fprintf fmt "%a >= 0" Linexpr.pp e
   | Eq e -> Format.fprintf fmt "%a = 0" Linexpr.pp e

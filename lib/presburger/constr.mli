@@ -36,4 +36,8 @@ val normalize : t -> [ `True | `False | `Constr of t ]
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit

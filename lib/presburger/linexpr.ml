@@ -63,6 +63,14 @@ let compare a b =
   let c = Vmap.compare Mpz.compare a.coeffs b.coeffs in
   if c <> 0 then c else Mpz.compare a.const b.const
 
+(* Structural hash, consistent with [equal]: the Vmap stores coefficients
+   in a canonical (sorted, zero-free) form, so folding in binding order is
+   deterministic per value. *)
+let hash e =
+  Vmap.fold
+    (fun x a acc -> (acc * 31) + (Hashtbl.hash x lxor Mpz.hash a))
+    e.coeffs (Mpz.hash e.const)
+
 let pp fmt e =
   let first = ref true in
   let psign fmt a =

@@ -53,4 +53,8 @@ val map_coeffs : (Mpz.t -> Mpz.t) -> t -> t
 
 val fold : (string -> Mpz.t -> 'a -> 'a) -> t -> 'a -> 'a
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -6,27 +6,64 @@ exception Blowup of string
 
 (* The budget used when a caller does not thread one explicitly; the CLI
    overrides it from --budget / INL_FM_BUDGET. *)
-let default_budget = ref Budget.default
-let set_default_budget b = default_budget := b
-let get_default_budget () = !default_budget
+let default_budget = Atomic.make Budget.default
+let set_default_budget b = Atomic.set default_budget b
+let get_default_budget () = Atomic.get default_budget
 
-(* Projections performed since the last [begin_analysis]; bounded by
-   [Budget.max_projections] so a pathological analysis cannot spin through
-   an unbounded number of individually-cheap projections. *)
-let projections_done = ref 0
+(* Per-analysis solver state.  The projection counter lives here — not in
+   a process global — so one analysis cannot leak budget consumption into
+   the next, and concurrent analyses (or worker domains sharing one
+   analysis) meter themselves correctly. *)
+type ctx = {
+  budget : Budget.t;
+  projections : int Atomic.t;
+      (* bounded by [Budget.max_projections] so a pathological analysis
+         cannot spin through an unbounded number of cheap projections *)
+  cache : Cache.t option;
+}
 
-let fresh_counter = ref 0
+(* One shared query cache: canonical keys make entries valid across
+   analyses, so sharing maximizes reuse (completion re-checks the same
+   dependence systems for every candidate matrix). *)
+let shared_cache = Cache.create ()
+let cache_enabled_flag = Atomic.make true
+let set_cache_enabled b = Atomic.set cache_enabled_flag b
+let cache_enabled () = Atomic.get cache_enabled_flag
+let cache_stats () = Cache.stats shared_cache
+let clear_cache () = Cache.clear shared_cache
+
+(* Cumulative entry-point counters for observability (--stats); distinct
+   from the per-ctx budget counter. *)
+let sat_calls = Atomic.make 0
+let project_calls = Atomic.make 0
+
+let solver_calls () = (Atomic.get sat_calls, Atomic.get project_calls)
+
+let reset_solver_calls () =
+  Atomic.set sat_calls 0;
+  Atomic.set project_calls 0
+
+let new_analysis ?budget ?(use_cache = true) () =
+  Faults.reset_counters ();
+  {
+    budget = (match budget with Some b -> b | None -> get_default_budget ());
+    projections = Atomic.make 0;
+    cache = (if use_cache && cache_enabled () then Some shared_cache else None);
+  }
 
 let wildcard_prefix = "$w"
 
-let fresh_var () =
-  incr fresh_counter;
-  Printf.sprintf "%s%d" wildcard_prefix !fresh_counter
+(* Process-global fresh-name counter (projections never consume from it:
+   they scope their own).  Atomic so worker domains can mint names; the
+   names feed only into systems solved within the same task, so schedules
+   cannot change results. *)
+let fresh_counter = Atomic.make 0
 
-let begin_analysis () =
-  projections_done := 0;
-  fresh_counter := 0;
-  Faults.reset_counters ()
+let fresh_var () =
+  let i = 1 + Atomic.fetch_and_add fresh_counter 1 in
+  Printf.sprintf "%s%d" wildcard_prefix i
+
+let reset_fresh_names () = Atomic.set fresh_counter 0
 
 let is_wildcard v =
   String.length v >= 2 && String.equal (String.sub v 0 2) wildcard_prefix
@@ -246,16 +283,8 @@ let max_coeff_bits sys =
         (max acc (Mpz.num_bits (Linexpr.constant e))))
     0 sys
 
-let project ?budget sys ~keep =
-  let budget = match budget with Some b -> b | None -> !default_budget in
-  incr projections_done;
-  if !projections_done > budget.Budget.max_projections then
-    raise
-      (Blowup
-         (Printf.sprintf "projection count exceeded the analysis budget (%d)"
-            budget.Budget.max_projections));
-  if Faults.project_should_fail () then
-    raise (Blowup "injected fault: forced projection failure");
+(* The projection engine proper, on an already-canonicalized system. *)
+let project_run ~budget sys ~keep =
   let work_limit = Faults.effective_work budget.Budget.fm_work in
   (* Wildcard names are scoped to this projection, starting above any
      wildcard already present in the input: repeated projections of equal
@@ -314,12 +343,56 @@ let project ?budget sys ~keep =
   in
   drain [ sys ] [] 0
 
-let satisfiable ?budget sys =
+(* Resolve the effective solver state for an entry point: an explicit
+   [?ctx] (its budget overridable by [?budget]), else an ephemeral context
+   on the default budget and the shared cache. *)
+let resolve ?ctx ?budget () =
+  match (ctx, budget) with
+  | Some c, None -> c
+  | Some c, Some b -> { c with budget = b }
+  | None, _ -> new_analysis ?budget ()
+
+let project ?ctx ?budget sys ~keep =
+  let ctx = resolve ?ctx ?budget () in
+  Atomic.incr project_calls;
+  let n = 1 + Atomic.fetch_and_add ctx.projections 1 in
+  if n > ctx.budget.Budget.max_projections then
+    raise
+      (Blowup
+         (Printf.sprintf "projection count exceeded the analysis budget (%d)"
+            ctx.budget.Budget.max_projections));
+  if Faults.project_should_fail () then
+    raise (Blowup "injected fault: forced projection failure");
+  (* Both the cached and uncached paths run on the canonical system, so a
+     cache hit is bit-identical to a recomputation and cache-on/cache-off
+     runs cannot diverge.  (The engine normalizes every work item anyway;
+     canonicalization only pre-folds the first.) *)
+  match System.canonicalize sys with
+  | None -> []
+  | Some csys -> (
+      match ctx.cache with
+      | Some cache when not (Faults.active ()) -> (
+          (* fault injection bypasses the cache entirely: injected
+             failures must fire on their exact schedule, and partial runs
+             under caps must not be masked by earlier successes *)
+          let kept =
+            List.filter (fun v -> keep v && not (is_wildcard v)) (System.vars csys)
+          in
+          match Cache.find cache ~sys:csys ~kept ~budget:ctx.budget with
+          | Some r -> r
+          | None ->
+              let r = project_run ~budget:ctx.budget csys ~keep in
+              Cache.add cache ~sys:csys ~kept ~budget:ctx.budget r;
+              r)
+      | _ -> project_run ~budget:ctx.budget csys ~keep)
+
+let satisfiable ?ctx ?budget sys =
   (* with nothing kept, every variable is a victim and equality
      elimination always progresses (the global minimum is a victim), so
      stuck wildcards cannot survive; any surviving disjunct is a
      normalized constant-free system, i.e. satisfiable *)
-  match project ?budget sys ~keep:(fun _ -> false) with [] -> false | _ :: _ -> true
+  Atomic.incr sat_calls;
+  match project ?ctx ?budget sys ~keep:(fun _ -> false) with [] -> false | _ :: _ -> true
 
 (* ---- implied intervals ---- *)
 
@@ -360,7 +433,7 @@ let interval_1d sys v : Interval.t * bool =
    unbounded direction. *)
 let gallop_bits = 42
 
-let sat_with ?budget sys cs = satisfiable ?budget (System.append cs sys)
+let sat_with ?ctx ?budget sys cs = satisfiable ?ctx ?budget (System.append cs sys)
 
 let var_ge v c = Constr.ge2 (Linexpr.var v) (Linexpr.const c)
 let var_le v c = Constr.le2 (Linexpr.var v) (Linexpr.const c)
@@ -374,8 +447,8 @@ let rec bsearch_max pred lo hi =
     if pred mid then bsearch_max pred mid hi else bsearch_max pred lo (Mpz.pred mid)
   end
 
-let implied_interval ?budget sys v =
-  let disjuncts = project ?budget sys ~keep:(fun x -> String.equal x v) in
+let implied_interval ?ctx ?budget sys v =
+  let disjuncts = project ?ctx ?budget sys ~keep:(fun x -> String.equal x v) in
   let hull, all_exact =
     List.fold_left
       (fun (acc, exact) d ->
@@ -385,7 +458,7 @@ let implied_interval ?budget sys v =
       disjuncts
   in
   if all_exact || Interval.is_empty hull then hull
-  else if not (satisfiable ?budget sys) then Interval.(make PosInf NegInf)
+  else if not (satisfiable ?ctx ?budget sys) then Interval.(make PosInf NegInf)
   else begin
     (* tighten the relaxed hull by probing the original system *)
     let big = Mpz.pow Mpz.two gallop_bits in
@@ -394,45 +467,45 @@ let implied_interval ?budget sys v =
       match hull.Interval.hi with
       | Interval.NegInf -> Interval.NegInf
       | Interval.PosInf ->
-          if sat_with ?budget sys [ var_ge v big ] then Interval.PosInf
+          if sat_with ?ctx ?budget sys [ var_ge v big ] then Interval.PosInf
           else
-            Interval.Fin (bsearch_max (fun c -> sat_with ?budget sys [ var_ge v c ]) neg_big big)
+            Interval.Fin (bsearch_max (fun c -> sat_with ?ctx ?budget sys [ var_ge v c ]) neg_big big)
       | Interval.Fin h ->
           (* h is a sound upper bound; the true max is the largest c <= h
              with sat(v >= c) *)
-          Interval.Fin (bsearch_max (fun c -> sat_with ?budget sys [ var_ge v c ]) neg_big h)
+          Interval.Fin (bsearch_max (fun c -> sat_with ?ctx ?budget sys [ var_ge v c ]) neg_big h)
     in
     let lo =
       match hull.Interval.lo with
       | Interval.PosInf -> Interval.PosInf
       | Interval.NegInf ->
-          if sat_with ?budget sys [ var_le v neg_big ] then Interval.NegInf
+          if sat_with ?ctx ?budget sys [ var_le v neg_big ] then Interval.NegInf
           else
             Interval.Fin
               (Mpz.neg
-                 (bsearch_max (fun c -> sat_with ?budget sys [ var_le v (Mpz.neg c) ]) neg_big big))
+                 (bsearch_max (fun c -> sat_with ?ctx ?budget sys [ var_le v (Mpz.neg c) ]) neg_big big))
       | Interval.Fin l ->
           Interval.Fin
             (Mpz.neg
                (bsearch_max
-                  (fun c -> sat_with ?budget sys [ var_le v (Mpz.neg c) ])
+                  (fun c -> sat_with ?ctx ?budget sys [ var_le v (Mpz.neg c) ])
                   neg_big (Mpz.neg l)))
     in
     Interval.make lo hi
   end
 
-let implies ?budget sys c =
+let implies ?ctx ?budget sys c =
   (* sys => c  iff  sys /\ not c  is unsatisfiable.  For Ge e, not c is
      e <= -1; for Eq e it is e >= 1 \/ e <= -1. *)
   let e = Constr.expr c in
   match c with
   | Constr.Ge _ ->
       not
-        (satisfiable ?budget
+        (satisfiable ?ctx ?budget
            (System.add (Constr.ge (Linexpr.add_const (Linexpr.neg e) Mpz.minus_one)) sys))
   | Constr.Eq _ ->
       (not
-         (satisfiable ?budget (System.add (Constr.ge (Linexpr.add_const e Mpz.minus_one)) sys)))
+         (satisfiable ?ctx ?budget (System.add (Constr.ge (Linexpr.add_const e Mpz.minus_one)) sys)))
       && not
-           (satisfiable ?budget
+           (satisfiable ?ctx ?budget
               (System.add (Constr.ge (Linexpr.add_const (Linexpr.neg e) Mpz.minus_one)) sys))

@@ -24,38 +24,78 @@ exception Blowup of string
 (** Raised when a projection exceeds its resource budget (the message
     names the exhausted resource) or a fault is injected. *)
 
-val default_budget : Budget.t ref
 val set_default_budget : Budget.t -> unit
 val get_default_budget : unit -> Budget.t
-(** The budget used when callers do not pass [?budget]; the CLI sets it
-    from [--budget] / [INL_FM_BUDGET]. *)
+(** The budget used when callers do not pass [?budget] or [?ctx]; the CLI
+    sets it from [--budget] / [INL_FM_BUDGET]. *)
 
-val begin_analysis : unit -> unit
-(** Start of a fresh analysis run: resets the per-analysis projection
-    counter, the global wildcard counter, and the fault-injection
-    counters, so repeated analyses in one process are deterministic. *)
+type ctx
+(** Per-analysis solver state: the effective budget, the projection
+    counter it meters (no longer a process global — a forgotten reset
+    cannot leak consumption into the next run), and the query cache to
+    consult.  A [ctx] is safe to share across worker domains: the counter
+    is atomic and the cache is internally synchronized. *)
 
-val satisfiable : ?budget:Budget.t -> System.t -> bool
+val new_analysis : ?budget:Budget.t -> ?use_cache:bool -> unit -> ctx
+(** Fresh per-analysis state (budget defaults to the process default,
+    [use_cache] defaults to [true] and is further gated by
+    {!set_cache_enabled}); also resets the fault-injection counters so
+    injected failures are deterministic per run.  Entry points called
+    without [?ctx] run on an ephemeral context, so no global protocol
+    exists to forget. *)
 
-val project : ?budget:Budget.t -> System.t -> keep:(string -> bool) -> System.t list
+val satisfiable : ?ctx:ctx -> ?budget:Budget.t -> System.t -> bool
+
+val project :
+  ?ctx:ctx -> ?budget:Budget.t -> System.t -> keep:(string -> bool) -> System.t list
 (** [project sys ~keep] is a list of systems, mentioning only variables
     satisfying [keep], whose union of solution sets equals the projection
-    of [sys]'s solutions.  The empty list means unsatisfiable.  Wildcard
-    names are scoped to the projection (deterministic and reentrant).
+    of [sys]'s solutions.  The empty list means unsatisfiable.  The input
+    is canonicalized ({!System.canonicalize}) before elimination in both
+    the cached and uncached paths, so memoized results are bit-identical
+    to recomputation.  Wildcard names are scoped to the projection
+    (deterministic and reentrant).  [?budget] overrides the [?ctx]
+    budget when both are given.
     @raise Blowup on budget exhaustion or injected fault. *)
 
-val implied_interval : ?budget:Budget.t -> System.t -> string -> Interval.t
+val implied_interval : ?ctx:ctx -> ?budget:Budget.t -> System.t -> string -> Interval.t
 (** Tightest integer interval containing the values of the variable over
     all solutions of the system (the hull across disjuncts); an empty
     interval when the system is unsatisfiable. *)
 
-val implies : ?budget:Budget.t -> System.t -> Constr.t -> bool
+val implies : ?ctx:ctx -> ?budget:Budget.t -> System.t -> Constr.t -> bool
 (** [implies sys c]: every integer solution of [sys] satisfies [c]. *)
+
+(** {2 Shared query cache and counters}
+
+    One process-wide {!Cache.t} keyed on canonical systems, so entries
+    stay valid across analyses.  Fault injection ({!Inl_diag.Faults})
+    bypasses it entirely — injected failures fire on their exact schedule
+    regardless of what is cached. *)
+
+val set_cache_enabled : bool -> unit
+(** Process-wide kill switch ([--no-cache]); on by default. *)
+
+val cache_enabled : unit -> bool
+val cache_stats : unit -> Cache.stats
+val clear_cache : unit -> unit
+
+val solver_calls : unit -> int * int
+(** Cumulative [(satisfiable, project)] entry-point call counts since
+    start or {!reset_solver_calls} ([satisfiable] calls also count as
+    [project] calls — satisfiability is projection onto no variables). *)
+
+val reset_solver_calls : unit -> unit
 
 val fresh_var : unit -> string
 (** Fresh auxiliary variable name (reserved ["$w%d"] namespace) from the
-    process-global counter; reset by {!begin_analysis}.  Projections use
-    their own scoped counter and never consume from this one. *)
+    process-global atomic counter; reset by {!reset_fresh_names}.
+    Projections use their own scoped counter and never consume from this
+    one. *)
+
+val reset_fresh_names : unit -> unit
+(** Restart {!fresh_var} numbering; call only between analyses (names
+    must stay unique within one). *)
 
 val is_wildcard : string -> bool
 (** Does the name live in the reserved wildcard namespace?  True also

@@ -27,6 +27,16 @@ let normalize sys =
   in
   go [] sys
 
+(* Canonical form: GCD-tightened, constant-folded, sorted, deduplicated.
+   [Constr.compare] is a total order and Linexpr maps are themselves
+   canonical, so two systems with the same canonical form describe the
+   same constraint set syntactically. *)
+let canonicalize sys = normalize sys
+
+let equal a b = List.equal Constr.equal a b
+
+let hash sys = List.fold_left (fun acc c -> (acc * 31) + Constr.hash c) 17 sys
+
 let holds sys env = List.for_all (fun c -> Constr.holds c env) sys
 
 let split_on sys v =

@@ -21,6 +21,21 @@ val normalize : t -> t option
 (** Gcd-tightens every constraint, drops tautologies, deduplicates;
     [None] when some constraint is unsatisfiable on its face. *)
 
+val canonicalize : t -> t option
+(** Canonical form used as a memoization key: gcd-tightened,
+    constant-folded, deduplicated, sorted by {!Constr.compare} (an alias
+    of {!normalize}, named for intent).  Two satisfiability-relevant
+    identical systems canonicalize to structurally equal values, so
+    {!equal}/{!hash} on the result are sound cache keys.  [None] when
+    some constraint is unsatisfiable on its face. *)
+
+val equal : t -> t -> bool
+(** Structural equality (constraint-list equality; compare canonical
+    forms for semantic keying). *)
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal}. *)
+
 val holds : t -> (string -> Mpz.t) -> bool
 
 val split_on : t -> string -> Constr.t list * Constr.t list * t

@@ -15,6 +15,7 @@ module Constr = Inl_presburger.Constr
 module System = Inl_presburger.System
 module Omega = Inl_presburger.Omega
 module Ast = Inl_ir.Ast
+module Pool = Inl_parallel.Pool
 
 type witness = {
   kind : [ `Write_write | `Read_write ];
@@ -30,7 +31,8 @@ type status =
       (** the analysis could not decide: resource budget exhausted or an
           execution set that is only representable approximately *)
 
-let satisfiable sys = match System.normalize sys with None -> false | Some s -> Omega.satisfiable s
+let satisfiable ?ctx sys =
+  match System.normalize sys with None -> false | Some s -> Omega.satisfiable ?ctx s
 
 let kind_to_string = function `Write_write -> "write-write" | `Read_write -> "read-write"
 
@@ -45,11 +47,13 @@ let rec is_prefix prefix path =
   | x :: p, y :: q -> x = y && is_prefix p q
   | _ :: _, [] -> false
 
-let analyze (prog : Ast.program) : (Ast.path * string * status) list =
+let analyze ?ctx (prog : Ast.program) : (Ast.path * string * status) list =
   let params = prog.Ast.params in
   let occs = Exec.extract prog in
   let suffix v = if List.mem v params then v else v ^ "!2" in
-  List.map
+  (* one task per loop: each accumulates its own witnesses, so results
+     are position-for-position identical to the sequential scan *)
+  Pool.map
     (fun ((lpath, (l : Ast.loop)) : Ast.path * Ast.loop) ->
       let under = List.filter (fun (o : Exec.occurrence) -> is_prefix lpath o.Exec.path) occs in
       let witnesses = ref [] in
@@ -101,7 +105,7 @@ let analyze (prog : Ast.program) : (Ast.path * string * status) list =
                           @ subs @ c1.Exec.sys
                           @ System.rename suffix c2.Exec.sys
                         in
-                        match satisfiable sys with
+                        match satisfiable ?ctx sys with
                         | true ->
                             if c1.Exec.exact && c2.Exec.exact then (
                               let w =

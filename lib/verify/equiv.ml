@@ -41,6 +41,7 @@ module Ast = Inl_ir.Ast
 module Pp = Inl_ir.Pp
 module Diag = Inl_diag.Diag
 module Smap = Exec.Smap
+module Pool = Inl_parallel.Pool
 
 let vdiag sev code fmt =
   Format.kasprintf (fun m -> Diag.make ~code ~severity:sev ~phase:Diag.Verify m) fmt
@@ -52,7 +53,8 @@ exception Unknown of string
 let max_modulus = 64
 let max_branches = 2048
 
-let satisfiable sys = match System.normalize sys with None -> false | Some s -> Omega.satisfiable s
+let satisfiable ?ctx sys =
+  match System.normalize sys with None -> false | Some s -> Omega.satisfiable ?ctx s
 
 (* Variable renamer that leaves parameters (shared between the two
    programs) untouched. *)
@@ -321,8 +323,8 @@ let negation_alternatives (d : System.t) : Constr.t list list =
   List.concat_map neg_constraint d
 
 (* Is (union of A) minus (union of B) non-empty? *)
-let diff_nonempty (a : System.t list) (b : System.t list) : bool =
-  let branches = ref (List.filter satisfiable a) in
+let diff_nonempty ?ctx (a : System.t list) (b : System.t list) : bool =
+  let branches = ref (List.filter (satisfiable ?ctx) a) in
   List.iter
     (fun d ->
       let alts = negation_alternatives d in
@@ -332,7 +334,7 @@ let diff_nonempty (a : System.t list) (b : System.t list) : bool =
             List.filter_map
               (fun alt ->
                 let s = alt @ br in
-                if satisfiable s then Some s else None)
+                if satisfiable ?ctx s then Some s else None)
               alts)
           !branches
       in
@@ -349,7 +351,7 @@ let gen_suffix = "!gen"
 
 (* Executed source-instance sets of one generated context, as systems
    over the source iterators and parameters. *)
-let coverage ~params ~(iters : string list) (sigma : sigma) (c : Exec.ctxt) : System.t list =
+let coverage ?ctx ~params ~(iters : string list) (sigma : sigma) (c : Exec.ctxt) : System.t list =
   let ren = suffix_nonparams ~params gen_suffix in
   let sys = System.rename ren c.Exec.sys in
   let link =
@@ -358,7 +360,7 @@ let coverage ~params ~(iters : string list) (sigma : sigma) (c : Exec.ctxt) : Sy
       iters
   in
   let keep x = List.mem x iters || List.mem x params in
-  Omega.project (link @ sys) ~keep
+  Omega.project ?ctx (link @ sys) ~keep
 
 (* Branches under which instance A (variables renamed by [ra]) executes
    strictly before instance B ([rb]) over their common loops; [tie]
@@ -396,7 +398,7 @@ let budgeted ~what add (f : unit -> unit) =
       add (vdiag Diag.Warning "V900" "check skipped (resource budget exhausted): %s" what)
   | Unknown why -> add (vdiag Diag.Warning "V900" "check skipped (%s): %s" why what)
 
-let check_sets ~params add (p : pairing) =
+let check_sets ?ctx ~params add (p : pairing) =
   let label = p.src.Exec.stmt.Ast.label in
   match p.sigma with
   | Error d -> add d
@@ -405,13 +407,13 @@ let check_sets ~params add (p : pairing) =
       let iters = List.map snd p.src.Exec.loops in
       let src_sets = List.map (fun (c : Exec.ctxt) -> c.Exec.sys) p.src.Exec.ctxts in
       budgeted ~what:(Printf.sprintf "instance-set preservation for %s" label) add (fun () ->
-          let cover = List.concat_map (coverage ~params ~iters sigma) p.gen.Exec.ctxts in
-          if diff_nonempty src_sets cover then
+          let cover = List.concat_map (coverage ?ctx ~params ~iters sigma) p.gen.Exec.ctxts in
+          if diff_nonempty ?ctx src_sets cover then
             add
               (vdiag Diag.Error "V101"
                  "statement %s: some source instances are never executed (dropped iterations)"
                  label);
-          if diff_nonempty cover src_sets then
+          if diff_nonempty ?ctx cover src_sets then
             add
               (vdiag Diag.Error "V102"
                  "statement %s: instances outside the source iteration set are executed (extra \
@@ -439,7 +441,7 @@ let check_sets ~params add (p : pairing) =
                     let base =
                       same_instance @ c1.Exec.sys @ System.rename ren2 c2.Exec.sys
                     in
-                    List.exists (fun branch -> satisfiable (branch @ base)) distinct)
+                    List.exists (fun branch -> satisfiable ?ctx (branch @ base)) distinct)
                   p.gen.Exec.ctxts)
               p.gen.Exec.ctxts
           in
@@ -451,13 +453,15 @@ let check_sets ~params add (p : pairing) =
                  label))
 
 (* Every pair of conflicting source accesses executed in source order
-   must be executed in the same order by the generated program. *)
-let check_dependence_order ~params add (pairings : pairing list) =
+   must be executed in the same order by the generated program.  One task
+   per ordered pairing pair: statement labels are unique per pairing, so
+   the (l1, l2, array) de-duplication keys of different tasks are
+   disjoint and the [reported] state can stay task-local. *)
+let check_pair_order ?ctx ~params (p1, p2) : Diag.t list =
+  let local = ref [] in
+  let add d = local := d :: !local in
   let reported = ref [] in
-  let pairs = List.concat_map (fun p1 -> List.map (fun p2 -> (p1, p2)) pairings) pairings in
-  List.iter
-    (fun (p1, p2) ->
-      match (p1.sigma, p2.sigma) with
+  (match (p1.sigma, p2.sigma) with
       | Ok sigma1, Ok sigma2 when p1.exact && p2.exact ->
           let l1 = p1.src.Exec.stmt.Ast.label and l2 = p2.src.Exec.stmt.Ast.label in
           let senv1 = (List.hd p1.src.Exec.ctxts).Exec.env
@@ -526,7 +530,7 @@ let check_dependence_order ~params add (pairings : pairing list) =
                                   (fun before ->
                                     if
                                       (not (List.mem (l1, l2, a1) !reported))
-                                      && satisfiable (before @ src_base)
+                                      && satisfiable ?ctx (before @ src_base)
                                     then
                                       (* the dependence exists; now look
                                          for an execution order witness
@@ -542,7 +546,7 @@ let check_dependence_order ~params add (pairings : pairing list) =
                                                 in
                                                 List.exists
                                                   (fun viol ->
-                                                    satisfiable
+                                                    satisfiable ?ctx
                                                       (viol @ links1 @ links2 @ gsys
                                                      @ before @ src_base))
                                                   gen_violation)
@@ -562,10 +566,14 @@ let check_dependence_order ~params add (pairings : pairing list) =
                           p1.src.Exec.ctxts))
                 refs2)
             refs1
-      | _ -> () (* sigma failures / inexact sets already reported per statement *))
-    pairs
+  | _ -> () (* sigma failures / inexact sets already reported per statement *));
+  List.rev !local
 
-let check ~(source : Ast.program) (gen : Ast.program) : Diag.t list =
+let check_dependence_order ?ctx ~params add (pairings : pairing list) =
+  let pairs = List.concat_map (fun p1 -> List.map (fun p2 -> (p1, p2)) pairings) pairings in
+  List.iter (List.iter add) (Pool.map (check_pair_order ?ctx ~params) pairs)
+
+let check ?ctx ~(source : Ast.program) (gen : Ast.program) : Diag.t list =
   let params = List.sort_uniq compare (source.Ast.params @ gen.Ast.params) in
   let src_occs = Exec.extract source in
   let gen_occs = Exec.extract gen in
@@ -612,6 +620,14 @@ let check ~(source : Ast.program) (gen : Ast.program) : Diag.t list =
              "statement %s: execution set only representable approximately; checks degraded"
              p.src.Exec.stmt.Ast.label))
     pairings;
-  List.iter (check_sets ~params add) pairings;
-  check_dependence_order ~params add pairings;
+  (* per-pairing set checks are independent: collect each task's
+     findings locally, merge in pairing order *)
+  List.iter (List.iter add)
+    (Pool.map
+       (fun p ->
+         let local = ref [] in
+         check_sets ?ctx ~params (fun d -> local := d :: !local) p;
+         List.rev !local)
+       pairings);
+  check_dependence_order ?ctx ~params add pairings;
   List.rev !diags

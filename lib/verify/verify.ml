@@ -28,18 +28,23 @@ let dedup (ds : Diag.t list) : Diag.t list =
     ds
 
 let run ?against (prog : Ast.program) : report =
-  Omega.begin_analysis ();
-  let lint = dedup (Lint.run prog) in
-  (* On a structurally broken program (V005/V007) the execution sets are
-     meaningless; deeper analyses would only cascade. *)
-  let structural = Diag.has_errors lint in
-  let loops = if structural then [] else Doall.analyze prog in
-  let equiv =
-    match against with
-    | Some source when not structural -> dedup (Equiv.check ~source prog)
-    | _ -> []
-  in
-  { lint; loops; equiv }
+  Inl_diag.Stats.timed "verify" (fun () ->
+      (* fresh per-run solver state: projection metering and fault
+         counters start at zero, wildcard numbering restarts so repeated
+         runs in one process are deterministic *)
+      let ctx = Omega.new_analysis () in
+      Omega.reset_fresh_names ();
+      let lint = dedup (Lint.run prog) in
+      (* On a structurally broken program (V005/V007) the execution sets
+         are meaningless; deeper analyses would only cascade. *)
+      let structural = Diag.has_errors lint in
+      let loops = if structural then [] else Doall.analyze ~ctx prog in
+      let equiv =
+        match against with
+        | Some source when not structural -> dedup (Equiv.check ~ctx ~source prog)
+        | _ -> []
+      in
+      { lint; loops; equiv })
 
 let diags (r : report) : Diag.t list = r.lint @ r.equiv
 
