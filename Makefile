@@ -2,7 +2,7 @@
 # full build, test suite, and static verification of the example
 # kernels (examples/kernels/dune).
 
-.PHONY: all build test check bench-json clean
+.PHONY: all build test check fuzz-smoke bench-json clean
 
 all: build
 
@@ -14,6 +14,17 @@ test:
 
 check:
 	dune build @check
+
+# Deterministic differential-fuzzing smoke run (the same campaign the
+# test/fuzz.t cram test pins down): fixed seed, 50 cases, per-case
+# watchdog; findings are shrunk and quarantined under corpus/ and the
+# summary line is persisted as corpus/summary.  Exits nonzero if the
+# three judges (legality, static validation, interpreter) disagree on
+# any case.
+fuzz-smoke:
+	dune build bin/inltool.exe
+	rm -rf corpus
+	./_build/default/bin/inltool.exe fuzz --seed 42 --cases 50 --timeout-ms 5000 --corpus corpus
 
 # Solver-core benchmark: full-Cholesky analyze + legality + completion +
 # codegen + verify under (cache off/on) x (jobs 1/4); writes

@@ -37,7 +37,19 @@ let read_file path =
 
 let print_diags ds = List.iter (fun d -> prerr_endline (Diag.to_string d)) ds
 
-let load path = Inl.analyze_source_result (read_file path)
+(* Loading untrusted input must end in a typed diagnostic, never an
+   uncaught backtrace: I/O failures and anything unexpected the parser
+   or analyzer lets slip become D704 driver errors (exit 1). *)
+let load path =
+  match Inl.analyze_source_result (read_file path) with
+  | result -> result
+  | exception Sys_error msg -> Error [ Diag.error ~code:"D704" ~phase:Diag.Driver msg ]
+  | exception e ->
+      Error
+        [
+          Diag.errorf ~code:"D704" ~phase:Diag.Driver "unexpected failure loading %s: %s" path
+            (Printexc.to_string e);
+        ]
 
 (* ---- common arguments: resource budget and fault injection ---- *)
 
@@ -66,7 +78,9 @@ let faults_arg =
         ~doc:
           "Fault-injection spec for robustness testing: comma-separated $(b,key=value) pairs \
            among $(b,every=N) (fail every Nth projection), $(b,after=N) (fail all projections \
-           after the Nth) and $(b,cap=K) (cap the work budget at K items); $(b,off) disables.")
+           after the Nth), $(b,cap=K) (cap the work budget at K items) and $(b,hang=N) (hang \
+           every projection after the Nth — exercises the fuzz driver's wall-clock watchdog); \
+           $(b,off) disables.")
 
 let jobs_arg =
   let env = Cmd.Env.info "INL_JOBS" ~doc:"Default for the $(b,--jobs) option." in
@@ -124,15 +138,17 @@ let setup_term =
    parallel solver core is earning its keep. *)
 let report_stats () =
   let sat, proj = Inl.Omega.solver_calls () in
-  let cs = Inl.Omega.cache_stats () in
   Printf.eprintf "--- solver stats ---\n";
   Printf.eprintf "jobs: %d requested, %d effective (capped at the core count)\n"
     (Inl.Pool.requested_jobs ()) (Inl.Pool.jobs ());
   Printf.eprintf "solver calls: %d satisfiable, %d project\n" sat proj;
-  Printf.eprintf
-    "projection cache: %d hits, %d misses, %d evictions, %d entries (hit rate %.1f%%)\n"
-    cs.Inl.Cache.hits cs.Inl.Cache.misses cs.Inl.Cache.evictions cs.Inl.Cache.entries
-    (100.0 *. Inl.Cache.hit_rate cs);
+  (if Inl.Omega.cache_enabled () then
+     let cs = Inl.Omega.cache_stats () in
+     Printf.eprintf
+       "projection cache: %d hits, %d misses, %d evictions, %d entries (hit rate %.1f%%)\n"
+       cs.Inl.Cache.hits cs.Inl.Cache.misses cs.Inl.Cache.evictions cs.Inl.Cache.entries
+       (100.0 *. Inl.Cache.hit_rate cs)
+   else Printf.eprintf "projection cache: disabled (--no-cache)\n");
   List.iter
     (fun (phase, wall, calls) ->
       Printf.eprintf "phase %-10s %8.3f s (%d call%s)\n" phase wall calls
@@ -389,6 +405,13 @@ let parse_only path : (Inl.Ast.program, Diag.t list) result =
   match Inl.Parser.parse (read_file path) with
   | Ok prog -> Ok prog
   | Error msg -> Error [ Diag.error ~code:"P101" ~phase:Diag.Parse msg ]
+  | exception Sys_error msg -> Error [ Diag.error ~code:"D704" ~phase:Diag.Driver msg ]
+  | exception e ->
+      Error
+        [
+          Diag.errorf ~code:"D704" ~phase:Diag.Driver "unexpected failure loading %s: %s" path
+            (Printexc.to_string e);
+        ]
 
 let verify_cmd =
   let run common file against =
@@ -482,6 +505,88 @@ let run_cmd =
           program, including generated code with guards and lets.")
     Term.(const run $ setup_term $ file_arg $ nparam)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run common seed cases timeout_ms corpus no_shrink replay =
+    match common with
+    | Error ds ->
+        print_diags ds;
+        1
+    | Ok stats -> (
+        match replay with
+        | Some base -> (
+            match Inl_fuzz.Driver.replay ~timeout_ms base with
+            | Error msg ->
+                print_diags [ Diag.error ~code:"D706" ~phase:Diag.Driver msg ];
+                1
+            | Ok reproduced -> finish stats (if reproduced then 1 else 0))
+        | None -> (
+            let cfg =
+              { Inl_fuzz.Driver.seed; cases; timeout_ms; corpus; shrink = not no_shrink }
+            in
+            match Inl_fuzz.Driver.run cfg with
+            | Error msg ->
+                print_diags [ Diag.error ~code:"D706" ~phase:Diag.Driver msg ];
+                1
+            | Ok report -> finish stats (if Inl_fuzz.Driver.findings report > 0 then 1 else 0)))
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed.  Cases are derived independently from (seed, index), so the case \
+             stream is reproducible and stable under interruption and resume.")
+  in
+  let cases =
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"K" ~doc:"Number of cases to run.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"T"
+          ~doc:
+            "Per-case wall-clock watchdog in milliseconds (0 disables).  A case that exceeds \
+             it is retried once under a sharply reduced solver budget, then recorded as a \
+             $(b,timeout) finding.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory: findings are quarantined here as replayable \
+             $(b,finding-<case>-<signature>) file pairs, and a cursor file makes the campaign \
+             resumable — rerunning with the same seed continues at the first case not yet \
+             done.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Quarantine findings as generated, skipping delta-debugging reduction.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"BASE"
+          ~doc:
+            "Replay one quarantined finding ($(i,BASE).inl + $(i,BASE).tf; a trailing .inl or \
+             .tf is accepted) instead of running a campaign; exits 1 when the finding \
+             reproduces.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random loop nests and transformation recipes, then \
+          compare the legality test, the static translation validator and the interpreter on \
+          each case.  Any disagreement, crash or hang is shrunk, quarantined and reported; \
+          exits 1 when the campaign produced findings.")
+    Term.(const run $ setup_term $ seed $ cases $ timeout_ms $ corpus $ no_shrink $ replay)
+
 let () =
   let doc = "transformations for imperfectly nested loops (Kodukula-Pingali, SC'96)" in
   let exits =
@@ -515,4 +620,5 @@ let () =
   let info = Cmd.info "inltool" ~version:"1.1.0" ~doc ~exits ~man in
   exit
     (Cmd.eval'
-       (Cmd.group info [ show_cmd; deps_cmd; apply_cmd; complete_cmd; verify_cmd; run_cmd ]))
+       (Cmd.group info
+          [ show_cmd; deps_cmd; apply_cmd; complete_cmd; verify_cmd; run_cmd; fuzz_cmd ]))

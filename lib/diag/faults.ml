@@ -1,6 +1,11 @@
-type t = { fail_every : int option; fail_after : int option; cap_work : int option }
+type t = {
+  fail_every : int option;
+  fail_after : int option;
+  cap_work : int option;
+  hang_after : int option;
+}
 
-let none = { fail_every = None; fail_after = None; cap_work = None }
+let none = { fail_every = None; fail_after = None; cap_work = None; hang_after = None }
 
 let parse s : (t, string) result =
   let s = String.trim s in
@@ -24,12 +29,16 @@ let parse s : (t, string) result =
                 | "every", n -> Ok { t with fail_every = n }
                 | "after", n -> Ok { t with fail_after = n }
                 | "cap", n -> Ok { t with cap_work = n }
-                | _ -> Error (Printf.sprintf "unknown fault key %S (every|after|cap)" key))))
+                | "hang", n -> Ok { t with hang_after = n }
+                | _ -> Error (Printf.sprintf "unknown fault key %S (every|after|cap|hang)" key))))
       (Ok none) parts
 
 let to_string t =
   let field name = function None -> [] | Some n -> [ Printf.sprintf "%s=%d" name n ] in
-  match field "every" t.fail_every @ field "after" t.fail_after @ field "cap" t.cap_work with
+  match
+    field "every" t.fail_every @ field "after" t.fail_after @ field "cap" t.cap_work
+    @ field "hang" t.hang_after
+  with
   | [] -> "off"
   | fs -> String.concat "," fs
 
@@ -50,13 +59,19 @@ let current () = Atomic.get state
 let active () = Atomic.get state <> none
 let reset_counters () = Atomic.set projections 0
 
-let project_should_fail () =
-  if not (active ()) then false
+let project_fault () =
+  if not (active ()) then `None
   else begin
     let n = 1 + Atomic.fetch_and_add projections 1 in
     let t = Atomic.get state in
-    (match t.fail_every with Some k when k > 0 -> n mod k = 0 | _ -> false)
-    || match t.fail_after with Some k -> n > k | None -> false
+    (* a hang dominates: it models a solver that stops making progress,
+       which no failure path ever reaches *)
+    if match t.hang_after with Some k -> n > k | None -> false then `Hang
+    else if
+      (match t.fail_every with Some k when k > 0 -> n mod k = 0 | _ -> false)
+      || match t.fail_after with Some k -> n > k | None -> false
+    then `Fail
+    else `None
   end
 
 let effective_work limit =

@@ -15,12 +15,18 @@ type t = {
   fail_every : int option;  (** force a failure on every Nth projection (1 = all) *)
   fail_after : int option;  (** force a failure on every projection after the Nth *)
   cap_work : int option;  (** cap the Fourier-Motzkin work budget at K items *)
+  hang_after : int option;
+      (** simulate a hung solver on every projection after the Nth: the
+          projection spins inside {!Watchdog.hang} instead of failing —
+          only a wall-clock watchdog gets the process out.  [hang=0]
+          hangs the first projection.  Used to drill the fuzz driver's
+          timeout path. *)
 }
 
 val none : t
 
 val parse : string -> (t, string) result
-(** Comma-separated [key=value] spec: ["every=2,after=10,cap=100"];
+(** Comma-separated [key=value] spec: ["every=2,after=10,cap=100,hang=5"];
     ["off"] and [""] mean {!none}. *)
 
 val to_string : t -> string
@@ -35,8 +41,11 @@ val reset_counters : unit -> unit
 (** Restart the projection count; called at the start of every analysis
     run so injected failures are deterministic per run. *)
 
-val project_should_fail : unit -> bool
-(** Called once per projection attempt; [true] means inject a failure. *)
+val project_fault : unit -> [ `None | `Fail | `Hang ]
+(** Called once per projection attempt (one counter increment): [`Fail]
+    means inject a {!Inl_presburger.Omega.Blowup}, [`Hang] means the
+    caller should enter {!Watchdog.hang}.  A hang dominates a failure
+    when both are scheduled for the same projection. *)
 
 val effective_work : int -> int
 (** The work budget after applying [cap_work]. *)

@@ -1,0 +1,51 @@
+exception Timeout of string
+
+(* The deadline as epoch seconds; [infinity] = no watchdog.  One atomic
+   float read on the fast path keeps [poll] cheap enough for the solver's
+   work loop (which normalizes a whole constraint system per iteration). *)
+let deadline = Atomic.make infinity
+
+(* The limit that produced the current deadline, for the Timeout message. *)
+let limit_ms = Atomic.make 0
+
+let active () = Atomic.get deadline < infinity
+
+let poll () =
+  let d = Atomic.get deadline in
+  if d < infinity && Unix.gettimeofday () > d then
+    raise (Timeout (Printf.sprintf "wall-clock limit exceeded (%d ms)" (Atomic.get limit_ms)))
+
+let with_timeout ~ms f =
+  if ms <= 0 then Ok (f ())
+  else begin
+    let start = Unix.gettimeofday () in
+    let outer_deadline = Atomic.get deadline in
+    let outer_limit = Atomic.get limit_ms in
+    let mine = start +. (float_of_int ms /. 1000.0) in
+    (* nesting keeps the tighter deadline *)
+    if mine < outer_deadline then begin
+      Atomic.set deadline mine;
+      Atomic.set limit_ms ms
+    end;
+    let restore () =
+      Atomic.set deadline outer_deadline;
+      Atomic.set limit_ms outer_limit
+    in
+    match f () with
+    | v ->
+        restore ();
+        Ok v
+    | exception Timeout _ ->
+        restore ();
+        Error (Unix.gettimeofday () -. start)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        restore ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let hang () =
+  while true do
+    poll ();
+    ignore (Unix.select [] [] [] 0.001)
+  done

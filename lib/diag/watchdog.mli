@@ -1,0 +1,39 @@
+(** Per-case wall-clock watchdog, layered on top of {!Budget}.
+
+    The resource budget bounds {e work}, not {e time}: a projection can
+    stay within its work budget and still take arbitrarily long (large
+    coefficients, deep splinter recursion), and an injected hang
+    ({!Faults}, key [hang=N]) takes no work at all.  The watchdog bounds
+    time: {!with_timeout} installs a process-wide deadline and solver
+    loops call {!poll}, which raises {!Timeout} once the deadline has
+    passed.  The fuzz driver classifies that as a [timeout] finding
+    instead of leaving a stuck process behind.
+
+    The deadline is a single atomic, so polling from worker domains is
+    safe; {!Inl_parallel.Pool} re-raises a task's {!Timeout} in the
+    caller.  Nesting installs the tighter deadline and restores the outer
+    one on exit. *)
+
+exception Timeout of string
+(** Raised by {!poll} past the deadline; the message carries the
+    configured limit. *)
+
+val with_timeout : ms:int -> (unit -> 'a) -> ('a, float) result
+(** [with_timeout ~ms f] runs [f] under a deadline [ms] milliseconds from
+    now; [Error elapsed_seconds] when [f] (or a worker executing on its
+    behalf) raised {!Timeout}.  Any other outcome of [f] — value or
+    exception — passes through unchanged.  [ms <= 0] means no deadline. *)
+
+val active : unit -> bool
+(** Is a deadline currently installed? *)
+
+val poll : unit -> unit
+(** Cheap check called from solver inner loops (one atomic load and, when
+    a deadline is installed, one [gettimeofday]).
+    @raise Timeout once the installed deadline has passed. *)
+
+val hang : unit -> unit
+(** Spin forever at poll granularity (1 ms sleeps), leaving only the
+    watchdog as a way out — the implementation of the [hang=N] fault used
+    to drill the timeout path.  Without an installed deadline this really
+    does not return; only fault-injection tests should reach it. *)

@@ -1,0 +1,44 @@
+(** On-disk corpus: quarantined findings and the resumable cursor.
+
+    A corpus directory accumulates one replayable pair of files per
+    finding — [finding-<case>-<signature>.inl] (the shrunk program) and
+    [finding-<case>-<signature>.tf] (the shrunk recipe) — next to the
+    pre-shrink originals ([...-orig.inl]/[...-orig.tf]) and a
+    [...-detail.txt] triage note containing the oracle detail and the
+    exact replay command.  The [cursor] file records how far a seeded
+    campaign got; it is written atomically (temp file + rename) after
+    every case so an interrupted run resumes at case [k+1]. *)
+
+module Ast = Inl_ir.Ast
+
+type cursor = { seed : int; cases_done : int }
+
+val ensure_dir : string -> (unit, string) result
+(** Create the corpus directory (and parents) if missing. *)
+
+val read_cursor : dir:string -> (cursor option, string) result
+(** [Ok None] when no campaign has run here yet; [Error] on a mangled
+    cursor file (the driver refuses to guess). *)
+
+val write_cursor : dir:string -> cursor -> unit
+(** Atomic: the cursor on disk is always either the old or the new
+    value, never a torn write. *)
+
+val write_finding :
+  dir:string ->
+  index:int ->
+  signature:Oracle.signature ->
+  detail:string ->
+  prog:Ast.program ->
+  tf:Tf.t ->
+  orig_prog:Ast.program ->
+  orig_tf:Tf.t ->
+  string
+(** Quarantine one finding; returns the base name
+    [finding-<index>-<signature>]. *)
+
+val load_case : inl:string -> tf:string -> (Ast.program * Tf.t, string) result
+(** Parse a quarantined pair back for replay. *)
+
+val write_summary : dir:string -> string -> unit
+(** Persist the campaign summary line to [<dir>/summary]. *)

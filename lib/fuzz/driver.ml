@@ -1,0 +1,193 @@
+module Ast = Inl_ir.Ast
+module Budget = Inl_diag.Budget
+module Watchdog = Inl_diag.Watchdog
+module Omega = Inl_presburger.Omega
+
+type config = {
+  seed : int;
+  cases : int;
+  timeout_ms : int;
+  corpus : string option;
+  shrink : bool;
+}
+
+type report = {
+  seed : int;
+  cases : int;
+  completed : int;
+  ok : int;
+  skipped : int;
+  crash : int;
+  divergence : int;
+  verdict_mismatch : int;
+  timeout : int;
+}
+
+let findings r = r.crash + r.divergence + r.verdict_mismatch + r.timeout
+
+let summary_line r =
+  Printf.sprintf
+    "fuzz: seed=%d cases=%d completed=%d ok=%d skipped=%d findings=%d (crash=%d divergence=%d \
+     verdict-mismatch=%d timeout=%d)"
+    r.seed r.cases r.completed r.ok r.skipped (findings r) r.crash r.divergence
+    r.verdict_mismatch r.timeout
+
+(* Generation runs dependence-free code plus the budgeted lint, but a
+   hung or crashed generator must still become a case verdict, not a
+   harness abort.  The watchdog timeout always propagates (the caller
+   owns the deadline). *)
+let gen_guarded ~seed ~index stash =
+  match Gen.case ~seed ~index with
+  | pair ->
+      stash := Some pair;
+      `Gen pair
+  | exception (Watchdog.Timeout _ as e) -> raise e
+  | exception Omega.Blowup msg ->
+      `Fail
+        (Oracle.Finding
+           { signature = Oracle.Crash; detail = "generator leaked a solver Blowup: " ^ msg })
+  | exception e ->
+      `Fail
+        (Oracle.Finding
+           { signature = Oracle.Crash; detail = "generator raised: " ^ Printexc.to_string e })
+
+(* One attempt at one case under one budget; [Error elapsed] = watchdog. *)
+let one_attempt (cfg : config) ~index ~fm_work stash =
+  let saved = Omega.get_default_budget () in
+  Omega.set_default_budget (Budget.with_fm_work saved fm_work);
+  Fun.protect
+    ~finally:(fun () -> Omega.set_default_budget saved)
+    (fun () ->
+      let work () =
+        match gen_guarded ~seed:cfg.seed ~index stash with
+        | `Fail outcome -> outcome
+        | `Gen (prog, tf) -> Oracle.run_case prog tf
+      in
+      if cfg.timeout_ms <= 0 then Ok (work ())
+      else Watchdog.with_timeout ~ms:cfg.timeout_ms work)
+
+let run_case (cfg : config) ~index stash =
+  (* the stash survives a retry: both attempts derive the identical case
+     from (seed, index), so a retry that dies before regenerating it can
+     still quarantine attempt one's program *)
+  stash := None;
+  let base_work = (Omega.get_default_budget ()).Budget.fm_work in
+  match one_attempt cfg ~index ~fm_work:base_work stash with
+  | Ok outcome -> outcome
+  | Error _ -> (
+      (* retry once, starved: a solver that was grinding usually blows
+         up fast under a tiny budget and the case completes degraded *)
+      let reduced = max 1_000 (base_work / 10) in
+      match one_attempt cfg ~index ~fm_work:reduced stash with
+      | Ok outcome -> outcome
+      | Error _ ->
+          Oracle.Finding
+            {
+              signature = Oracle.Timeout;
+              detail =
+                Printf.sprintf
+                  "case exceeded the %d ms watchdog twice (reduced-budget retry at fm_work=%d)"
+                  cfg.timeout_ms reduced;
+            })
+
+let shrink_finding (cfg : config) ~signature prog tf =
+  if not cfg.shrink then (prog, tf)
+  else
+    let oracle p t = Oracle.run_case ~timeout_ms:cfg.timeout_ms p t in
+    (* every probe of a timeout finding pays the full timeout *)
+    let max_attempts = match signature with Oracle.Timeout -> 6 | _ -> 150 in
+    let p, t, _ = Shrink.shrink ~oracle ~signature ~max_attempts prog tf in
+    (p, t)
+
+let start_index (cfg : config) =
+  match cfg.corpus with
+  | None -> Ok 0
+  | Some dir -> (
+      match Corpus.ensure_dir dir with
+      | Error _ as e -> e
+      | Ok () -> (
+          match Corpus.read_cursor ~dir with
+          | Error _ as e -> e
+          | Ok None -> Ok 0
+          | Ok (Some c) ->
+              if c.Corpus.seed <> cfg.seed then
+                Error
+                  (Printf.sprintf
+                     "corpus %s belongs to a campaign seeded with %d, not %d (use a fresh \
+                      directory or the original seed)"
+                     dir c.Corpus.seed cfg.seed)
+              else Ok (min c.Corpus.cases_done cfg.cases)))
+
+let run ?(out = Format.std_formatter) (cfg : config) =
+  match start_index cfg with
+  | Error _ as e -> e
+  | Ok start ->
+      if start > 0 then
+        Format.fprintf out "fuzz: resuming at case %d of %d@." (start + 1) cfg.cases;
+      let totals =
+        ref
+          {
+            seed = cfg.seed;
+            cases = cfg.cases;
+            completed = 0;
+            ok = 0;
+            skipped = 0;
+            crash = 0;
+            divergence = 0;
+            verdict_mismatch = 0;
+            timeout = 0;
+          }
+      in
+      let stash = ref None in
+      for index = start to cfg.cases - 1 do
+        let outcome = run_case cfg ~index stash in
+        (match outcome with
+        | Oracle.Pass _ -> totals := { !totals with ok = !totals.ok + 1 }
+        | Oracle.Skip _ -> totals := { !totals with skipped = !totals.skipped + 1 }
+        | Oracle.Finding { signature; detail } ->
+            (totals :=
+               match signature with
+               | Oracle.Crash -> { !totals with crash = !totals.crash + 1 }
+               | Oracle.Divergence -> { !totals with divergence = !totals.divergence + 1 }
+               | Oracle.Verdict_mismatch ->
+                   { !totals with verdict_mismatch = !totals.verdict_mismatch + 1 }
+               | Oracle.Timeout -> { !totals with timeout = !totals.timeout + 1 });
+            let where =
+              match (!stash, cfg.corpus) with
+              | Some (orig_prog, orig_tf), Some dir ->
+                  let prog, tf = shrink_finding cfg ~signature orig_prog orig_tf in
+                  let base =
+                    Corpus.write_finding ~dir ~index ~signature ~detail ~prog ~tf ~orig_prog
+                      ~orig_tf
+                  in
+                  " -> " ^ Filename.concat dir base
+              | Some _, None -> " (no corpus directory; not quarantined)"
+              | None, _ -> " (case hung or crashed before a program existed; nothing to quarantine)"
+            in
+            Format.fprintf out "fuzz: case %d: finding %s%s [%s]@." index
+              (Oracle.signature_to_string signature)
+              where detail);
+        totals := { !totals with completed = !totals.completed + 1 };
+        match cfg.corpus with
+        | Some dir -> Corpus.write_cursor ~dir { Corpus.seed = cfg.seed; cases_done = index + 1 }
+        | None -> ()
+      done;
+      let line = summary_line !totals in
+      Format.fprintf out "%s@." line;
+      (match cfg.corpus with Some dir -> Corpus.write_summary ~dir line | None -> ());
+      Ok !totals
+
+let strip_suffix base =
+  match Filename.chop_suffix_opt ~suffix:".inl" base with
+  | Some b -> b
+  | None -> ( match Filename.chop_suffix_opt ~suffix:".tf" base with Some b -> b | None -> base)
+
+let replay ?(timeout_ms = 0) ?(out = Format.std_formatter) base =
+  let base = strip_suffix base in
+  match Corpus.load_case ~inl:(base ^ ".inl") ~tf:(base ^ ".tf") with
+  | Error _ as e -> e
+  | Ok (prog, tf) ->
+      let outcome = Oracle.run_case ~timeout_ms prog tf in
+      Format.fprintf out "replay %s: %s@." (Filename.basename base)
+        (Oracle.outcome_to_string outcome);
+      Ok (match outcome with Oracle.Finding _ -> true | Oracle.Pass _ | Oracle.Skip _ -> false)

@@ -1,0 +1,49 @@
+(** The hardened batch driver behind [inltool fuzz].
+
+    Cases are derived independently from [(seed, index)], so the stream
+    is stable under interruption: a campaign resumed from the corpus
+    cursor sees exactly the cases the uninterrupted campaign would have,
+    starting at the first one not yet done.  Every case runs under the
+    wall-clock watchdog (when [timeout_ms > 0]); a timed-out case is
+    retried once at a sharply reduced Fourier-Motzkin work budget (a
+    grinding solver often degrades quickly when starved) before being
+    recorded as a [timeout] finding.  Findings are shrunk, quarantined
+    into the corpus directory, and reported on stdout; the summary line
+    is deterministic for a given seed and case count. *)
+
+type config = {
+  seed : int;
+  cases : int;
+  timeout_ms : int;  (** per-case wall clock; [<= 0] disables the watchdog *)
+  corpus : string option;  (** quarantine + cursor directory *)
+  shrink : bool;
+}
+
+type report = {
+  seed : int;
+  cases : int;
+  completed : int;  (** cases executed by {e this} invocation *)
+  ok : int;
+  skipped : int;
+  crash : int;
+  divergence : int;
+  verdict_mismatch : int;
+  timeout : int;
+}
+
+val findings : report -> int
+
+val summary_line : report -> string
+(** ["fuzz: seed=.. cases=.. completed=.. ok=.. skipped=.. findings=..
+    (crash=.. divergence=.. verdict-mismatch=.. timeout=..)"] *)
+
+val run : ?out:Format.formatter -> config -> (report, string) result
+(** Run (or resume) a campaign.  [Error] is reserved for harness-level
+    problems — an unusable corpus directory or a cursor recorded under a
+    different seed; case-level misbehaviour of any kind becomes a
+    finding, never an [Error]. *)
+
+val replay : ?timeout_ms:int -> ?out:Format.formatter -> string -> (bool, string) result
+(** [replay base] re-runs the quarantined case [base.inl]/[base.tf]
+    (a trailing [.inl]/[.tf] on [base] is accepted and stripped) and
+    prints the oracle outcome; [Ok true] when the finding reproduces. *)

@@ -1,0 +1,28 @@
+(** Seeded random generation of well-formed imperfectly nested loop
+    programs and of transformation recipes to throw at them.
+
+    Programs are built directly as ASTs from the paper's motifs —
+    perfect nests, Cholesky-like statement-then-inner-loop blocks,
+    LU-like sequences of sibling nests, triangular bounds — over a small
+    fixed array vocabulary with affine subscripts.  Every emitted program
+    passes {!Inl_ir.Ast.validate}, admits an instance-vector layout, and
+    is clean under the V001-V007 well-formedness lint (no errors); a
+    generation attempt that fails the post-check is discarded and
+    retried from the same stream, so the mapping from [(seed, index)] to
+    the emitted case stays deterministic. *)
+
+module Ast = Inl_ir.Ast
+
+val program : Rng.t -> Ast.program
+(** One well-formed program (retries internally; falls back to a fixed
+    known-good kernel if the stream is persistently unlucky). *)
+
+val sample_tf : Rng.t -> Ast.program -> Tf.t
+(** A transformation recipe for the given program: a random pipeline of
+    named steps (possibly illegal), completion from random partial first
+    rows (expected legal), or either followed by raw matrix edits
+    (possibly ill-formed). *)
+
+val case : seed:int -> index:int -> Ast.program * Tf.t
+(** The deterministic case at [(seed, index)] — the unit of campaign
+    work, resume, and replay. *)

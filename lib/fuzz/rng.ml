@@ -1,0 +1,47 @@
+(* splitmix64: tiny, statistically fine for test generation, and —
+   decisive here — a fixed algorithm, so a corpus seed means the same
+   case forever. *)
+
+type t = { mutable state : int64 }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  mix t.state
+
+let make seed = { state = mix (Int64.of_int seed) }
+
+(* Case streams must not collide across (seed, index) pairs: whiten the
+   seed, then offset by the whitened index. *)
+let case ~seed ~index = { state = Int64.add (mix (Int64.of_int seed)) (mix (Int64.of_int (index + 1))) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be >= 1";
+  (* modulo bias is irrelevant at fuzz-generator bounds (tiny vs 2^63) *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int n))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let chance t k n = int t n < k
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,33 @@
+(** Deterministic PRNG for the fuzzing harness (splitmix64).
+
+    Not [Stdlib.Random]: corpus resumability and cross-version replay
+    need a generator whose sequence is pinned by this repository, not by
+    the OCaml runtime.  Each fuzz case derives its own stream from
+    [(campaign seed, case index)], so case [k] is generated identically
+    whether the campaign runs straight through or resumes at [k]. *)
+
+type t
+
+val make : int -> t
+(** A stream seeded from one integer. *)
+
+val case : seed:int -> index:int -> t
+(** The stream of case [index] in the campaign with the given seed;
+    independent of every other case's stream. *)
+
+val int : t -> int -> int
+(** Uniform in [\[0, n)]; [n >= 1]. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+
+val chance : t -> int -> int -> bool
+(** [chance t k n] is true with probability [k/n]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates permutation. *)

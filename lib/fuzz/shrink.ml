@@ -1,0 +1,211 @@
+module Ast = Inl_ir.Ast
+module Linexpr = Inl_presburger.Linexpr
+module Layout = Inl_instance.Layout
+
+(* ---- structural rewrites ----
+
+   All rewrites preserve the source-program shape (loops and statements
+   only — shrinking never introduces If/Let), so every shrunk case still
+   parses, lays out and replays exactly like a generated one. *)
+
+(* Remove statements whose label fails [keep]; loops left with an empty
+   body are pruned recursively. *)
+let filter_stmts (prog : Ast.program) (keep : string -> bool) : Ast.program =
+  let rec go nodes =
+    List.filter_map
+      (fun node ->
+        match node with
+        | Ast.Stmt s -> if keep s.Ast.label then Some node else None
+        | Ast.Loop l -> (
+            match go l.Ast.body with [] -> None | body -> Some (Ast.Loop { l with Ast.body }))
+        | Ast.If (gs, body) -> (
+            match go body with [] -> None | body -> Some (Ast.If (gs, body)))
+        | Ast.Let (v, b, body) -> (
+            match go body with [] -> None | body -> Some (Ast.Let (v, b, body))))
+      nodes
+  in
+  { prog with Ast.nest = go prog.Ast.nest }
+
+(* Drop the loop binding [var] entirely (with its whole subtree). *)
+let drop_loop (prog : Ast.program) (var : string) : Ast.program =
+  let rec go nodes =
+    List.filter_map
+      (fun node ->
+        match node with
+        | Ast.Loop l when l.Ast.var = var -> None
+        | Ast.Loop l -> Some (Ast.Loop { l with Ast.body = go l.Ast.body })
+        | other -> Some other)
+      nodes
+  in
+  { prog with Ast.nest = go prog.Ast.nest }
+
+let map_loop (prog : Ast.program) (var : string) (f : Ast.loop -> Ast.loop) : Ast.program =
+  let rec go nodes =
+    List.map
+      (fun node ->
+        match node with
+        | Ast.Loop l when l.Ast.var = var -> Ast.Loop (f { l with Ast.body = go l.Ast.body })
+        | Ast.Loop l -> Ast.Loop { l with Ast.body = go l.Ast.body }
+        | other -> other)
+      nodes
+  in
+  { prog with Ast.nest = go prog.Ast.nest }
+
+let map_stmt (prog : Ast.program) (label : string) (f : Ast.stmt -> Ast.stmt) : Ast.program =
+  let rec go nodes =
+    List.map
+      (fun node ->
+        match node with
+        | Ast.Stmt s when s.Ast.label = label -> Ast.Stmt (f s)
+        | Ast.Loop l -> Ast.Loop { l with Ast.body = go l.Ast.body }
+        | Ast.If (gs, body) -> Ast.If (gs, go body)
+        | Ast.Let (v, b, body) -> Ast.Let (v, b, go body)
+        | other -> other)
+      nodes
+  in
+  { prog with Ast.nest = go prog.Ast.nest }
+
+(* A shrunk candidate must still be a program the harness can replay. *)
+let usable (prog : Ast.program) : bool =
+  prog.Ast.nest <> []
+  && Ast.stmts_with_paths prog <> []
+  && (match Ast.validate prog with () -> true | exception Ast.Invalid _ -> false)
+  &&
+  match Layout.of_program prog with
+  | _ -> true
+  | exception Invalid_argument _ -> false
+
+(* ---- candidate reductions, most aggressive first ---- *)
+
+let labels prog = List.map (fun (_, (s : Ast.stmt)) -> s.Ast.label) (Ast.stmts_with_paths prog)
+
+let bound_is lower b =
+  match b with
+  | { Ast.combine = _; terms = [ { Ast.num; den } ] } ->
+      Inl_num.Mpz.to_int den = 1
+      && Linexpr.equal num (if lower then Linexpr.of_int 1 else Linexpr.var "N")
+  | _ -> false
+
+let simplify_affine (e : Ast.affine) : Ast.affine list =
+  (* one candidate per dropped variable, plus dropping the constant *)
+  let drops =
+    List.map (fun v -> Linexpr.sub e (Linexpr.term (Linexpr.coeff e v) v)) (Linexpr.vars e)
+  in
+  let no_const =
+    if Inl_num.Mpz.is_zero (Linexpr.constant e) then []
+    else [ Linexpr.sub e (Linexpr.const (Linexpr.constant e)) ]
+  in
+  drops @ no_const
+
+let rec first_ref (e : Ast.expr) : Ast.expr option =
+  match e with
+  | Ast.Eref _ -> Some e
+  | Ast.Ebin (_, a, b) -> ( match first_ref a with Some r -> Some r | None -> first_ref b)
+  | Ast.Ecall (_, args) -> List.find_map first_ref args
+  | _ -> None
+
+let candidates (prog : Ast.program) (tf : Tf.t) : (Ast.program * Tf.t) list =
+  let with_prog p = (p, tf) in
+  let loop_cuts = List.map (fun v -> with_prog (drop_loop prog v)) (Ast.loop_vars prog) in
+  let stmt_cuts =
+    List.map (fun l -> with_prog (filter_stmts prog (fun l' -> l' <> l))) (labels prog)
+  in
+  let tf_cuts =
+    (* drop one step / one edit / the last partial row *)
+    List.mapi
+      (fun i _ -> (prog, { tf with Tf.steps = List.filteri (fun j _ -> j <> i) tf.Tf.steps }))
+      tf.Tf.steps
+    @ List.mapi
+        (fun i _ -> (prog, { tf with Tf.edits = List.filteri (fun j _ -> j <> i) tf.Tf.edits }))
+        tf.Tf.edits
+    @
+    match tf.Tf.partial with
+    | _ :: _ :: _ ->
+        [ (prog, { tf with Tf.partial = List.filteri (fun j _ -> j < List.length tf.Tf.partial - 1) tf.Tf.partial }) ]
+    | _ -> []
+  in
+  let all_loops =
+    let rec loops node acc =
+      match node with
+      | Ast.Loop l -> l :: List.fold_right loops l.Ast.body acc
+      | Ast.If (_, body) | Ast.Let (_, _, body) -> List.fold_right loops body acc
+      | Ast.Stmt _ -> acc
+    in
+    List.fold_right loops prog.Ast.nest []
+  in
+  let bound_cuts =
+    List.concat_map
+      (fun (l : Ast.loop) ->
+        (if bound_is true l.Ast.lower then []
+         else
+           [ with_prog (map_loop prog l.Ast.var (fun l -> { l with Ast.lower = Ast.lower_bound [ Ast.bterm_int 1 ] })) ])
+        @
+        if bound_is false l.Ast.upper then []
+        else
+          [ with_prog (map_loop prog l.Ast.var (fun l -> { l with Ast.upper = Ast.upper_bound [ Ast.bterm_var "N" ] })) ])
+      all_loops
+  in
+  let rhs_cuts =
+    List.concat_map
+      (fun lab ->
+        [
+          (match first_ref ((fun (_, s) -> s.Ast.rhs) (Ast.find_stmt_exn prog lab)) with
+          | Some (Ast.Eref _ as r) ->
+              [ with_prog (map_stmt prog lab (fun s -> { s with Ast.rhs = r })) ]
+          | _ -> []);
+          [ with_prog (map_stmt prog lab (fun s -> { s with Ast.rhs = Ast.Econst 1.0 })) ];
+        ]
+        |> List.concat)
+      (labels prog)
+  in
+  let subscript_cuts =
+    List.concat_map
+      (fun lab ->
+        let _, s = Ast.find_stmt_exn prog lab in
+        List.concat
+          (List.mapi
+             (fun dim e ->
+               List.map
+                 (fun e' ->
+                   with_prog
+                     (map_stmt prog lab (fun s ->
+                          {
+                            s with
+                            Ast.lhs =
+                              {
+                                s.Ast.lhs with
+                                Ast.index =
+                                  List.mapi
+                                    (fun d x -> if d = dim then e' else x)
+                                    s.Ast.lhs.Ast.index;
+                              };
+                          })))
+                 (simplify_affine e))
+             s.Ast.lhs.Ast.index))
+      (labels prog)
+  in
+  loop_cuts @ stmt_cuts @ tf_cuts @ bound_cuts @ rhs_cuts @ subscript_cuts
+
+let shrink ~oracle ~(signature : Oracle.signature) ~max_attempts (prog : Ast.program)
+    (tf : Tf.t) : Ast.program * Tf.t * int =
+  let attempts = ref 0 in
+  let reproduces p t =
+    incr attempts;
+    match oracle p t with
+    | Oracle.Finding { signature = s; _ } -> s = signature
+    | Oracle.Pass _ | Oracle.Skip _ -> false
+  in
+  let rec fix prog tf =
+    if !attempts >= max_attempts then (prog, tf)
+    else
+      let next =
+        List.find_opt
+          (fun (p, t) ->
+            (p != prog || t != tf)
+            && usable p && !attempts < max_attempts && reproduces p t)
+          (candidates prog tf)
+      in
+      match next with Some (p, t) -> fix p t | None -> (prog, tf)
+  in
+  let prog', tf' = fix prog tf in
+  (prog', tf', !attempts)

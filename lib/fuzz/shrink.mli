@@ -1,0 +1,24 @@
+(** Delta-debugging shrinker for failing fuzz cases.
+
+    Greedy reduction to a local minimum: candidate reductions — dropping
+    whole loop subtrees, dropping statements (pruning loops left empty),
+    resetting bounds to [1..N], zeroing subscript coefficients,
+    simplifying right-hand sides, and thinning the transformation recipe
+    — are tried in decreasing order of aggressiveness, and a reduction is
+    kept only when the re-run oracle reproduces the {e same} triage
+    signature.  The oracle is a parameter, so the machinery itself is
+    testable against synthetic failure predicates. *)
+
+module Ast = Inl_ir.Ast
+
+val shrink :
+  oracle:(Ast.program -> Tf.t -> Oracle.outcome) ->
+  signature:Oracle.signature ->
+  max_attempts:int ->
+  Ast.program ->
+  Tf.t ->
+  Ast.program * Tf.t * int
+(** [shrink ~oracle ~signature ~max_attempts prog tf] returns the reduced
+    case and the number of oracle runs spent.  [max_attempts] bounds
+    oracle runs (shrinking a timeout finding pays the timeout on every
+    probe, so callers pass a small bound there). *)

@@ -1,0 +1,42 @@
+(** Replayable transformation specifications.
+
+    A fuzz case must survive three lives: the live campaign, quarantine
+    on disk, and replay after shrinking — so transformations are stored
+    not as raw matrices (whose dimensions die with the layout) but as the
+    {e recipe} that builds them: named pipeline steps (the CLI's
+    [--interchange I,J] surface syntax), or partial first rows handed to
+    the Section 6 completion procedure, optionally followed by raw matrix
+    edits that deliberately break well-formedness.  Recipes re-materialize
+    against whatever program they are replayed with, which is what lets
+    the shrinker mutate the program underneath them. *)
+
+module Mat = Inl_linalg.Mat
+
+type edit =
+  | Negate_row of int
+  | Add_entry of { row : int; col : int; delta : int }
+      (** perturbations applied to the materialized matrix — the
+          "possibly-illegal" half of the sampler's output *)
+
+type t = {
+  steps : (string * string) list;
+      (** [(kind, spec)] in {!Inl.Pipeline.step_of_spec} surface syntax *)
+  partial : int list list;
+      (** when non-empty: first rows for the completion procedure
+          (mutually exclusive with [steps]) *)
+  edits : edit list;
+}
+
+val expected_legal : t -> bool
+(** Completion-produced and unedited: if this materializes at all, the
+    legality test must accept it — a rejection is a finding. *)
+
+val to_string : t -> string
+(** Line-based text format, stable for corpus files. *)
+
+val of_string : string -> (t, string) result
+
+val materialize : Inl.context -> t -> (Mat.t, string) result
+(** Build the matrix against a concrete analyzed program.  [Error]
+    covers recipe/shape mismatches and failed completion searches — a
+    skip for the oracle, never a finding by itself. *)

@@ -28,9 +28,20 @@ let call_value fname (args : float list) =
       in
       1.0 +. (float_of_int (h land 0xFFFFF) /. 1048576.0)
 
-let run ?(init = default_init) ?(trace = fun _ -> ()) (prog : Ast.program)
+exception Step_limit of int
+
+let run ?(init = default_init) ?(trace = fun _ -> ()) ?max_steps (prog : Ast.program)
     ~(params : (string * int) list) : store =
   let store : store = Hashtbl.create 256 in
+  (* Execution is bounded when the caller asks (the fuzz oracle must not
+     hang on a pathological generated program): every statement instance
+     and every loop-iteration entry costs one step. *)
+  let steps = ref 0 in
+  let limit = match max_steps with Some n -> n | None -> max_int in
+  let step () =
+    incr steps;
+    if !steps > limit then raise (Step_limit limit)
+  in
   let read_cell array index =
     let cell = (array, index) in
     trace { array; index; kind = `Read };
@@ -71,6 +82,7 @@ let run ?(init = default_init) ?(trace = fun _ -> ()) (prog : Ast.program)
     List.iter
       (function
         | Ast.Stmt s ->
+            step ();
             let v = eval_expr s.Ast.rhs in
             write_cell s.Ast.lhs.Ast.array (eval_index s.Ast.lhs) v
         | Ast.If (gs, body) -> if Meval.eval_guards env gs then exec bindings body
@@ -81,7 +93,10 @@ let run ?(init = default_init) ?(trace = fun _ -> ()) (prog : Ast.program)
               invalid_arg (Printf.sprintf "Interp.run: let %s: %d not divisible by %d" v value d);
             let q = Mpz.to_int (Mpz.fdiv (Mpz.of_int value) den) in
             exec ((v, q) :: bindings) body
-        | Ast.Loop l -> Meval.iter_loop env l (fun i -> exec ((l.Ast.var, i) :: bindings) l.Ast.body))
+        | Ast.Loop l ->
+            Meval.iter_loop env l (fun i ->
+                step ();
+                exec ((l.Ast.var, i) :: bindings) l.Ast.body))
       nodes
   in
   exec [] prog.Ast.nest;
@@ -98,8 +113,8 @@ let stores_equal (a : store) (b : store) =
          acc && match Hashtbl.find_opt b cell with Some w -> feq v w | None -> false)
        a true
 
-let equivalent p1 p2 ~params =
-  let s1 = run p1 ~params and s2 = run p2 ~params in
+let equivalent ?max_steps p1 p2 ~params =
+  let s1 = run ?max_steps p1 ~params and s2 = run ?max_steps p2 ~params in
   let diff = ref None in
   Hashtbl.iter
     (fun cell v ->

@@ -23,21 +23,29 @@ type store = (cell, float) Hashtbl.t
 val default_init : string -> int list -> float
 (** Deterministic pseudo-random initial array contents. *)
 
+exception Step_limit of int
+(** Raised by a bounded execution that exceeded its step allowance. *)
+
 val run :
   ?init:(string -> int list -> float) ->
   ?trace:(access -> unit) ->
+  ?max_steps:int ->
   Ast.program ->
   params:(string * int) list ->
   store
 (** Executes the program.  Reads of never-written cells come from [init]
     (and are recorded in the store so both sides of an equivalence check
-    observe them identically).
+    observe them identically).  With [max_steps] the execution is
+    bounded: each statement instance and each loop-iteration entry costs
+    one step, and exceeding the allowance raises {!Step_limit} — the
+    fuzzing oracle relies on this to never hang on generated code.
     @raise Invalid_argument on unbound variables or non-exact [Let]
     divisions. *)
 
 val stores_equal : store -> store -> bool
 
 val equivalent :
+  ?max_steps:int ->
   Ast.program -> Ast.program -> params:(string * int) list -> (unit, string) result
 (** Runs both programs from the same initial contents and compares the
     final stores cell by cell; [Error] carries a diagnostic naming the

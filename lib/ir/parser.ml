@@ -70,7 +70,16 @@ let tokenize (src : string) : (token * int) list =
         done;
         push (FLOAT (float_of_string (String.sub src start (!i - start))))
       end
-      else push (INT (int_of_string (String.sub src start (!i - start))))
+      else
+        let lit = String.sub src start (!i - start) in
+        push
+          (INT
+             (match int_of_string_opt lit with
+             | Some v -> v
+             | None ->
+                 raise
+                   (Parse_error
+                      (Printf.sprintf "line %d: integer literal %s out of range" !line lit))))
     end
     else if is_ident_start c then begin
       let start = !i in

@@ -96,25 +96,31 @@ let worker () =
   in
   loop ()
 
-let shutdown_pool () =
+(* Idempotent: the handle list is taken under the lock, so exactly one
+   caller joins each helper no matter how many times (or from how many
+   threads) shutdown is invoked.  After shutdown the pool stays usable —
+   [map] always drains its batch on the calling domain — it just runs
+   without helper parallelism. *)
+let shutdown () =
   Mutex.lock pool.lock;
   pool.shutdown <- true;
+  let handles = pool.handles in
+  pool.handles <- [];
   Condition.broadcast pool.work;
   Mutex.unlock pool.lock;
-  List.iter Domain.join pool.handles;
-  pool.handles <- []
+  List.iter Domain.join handles
 
-let exit_hook = ref false
+(* Registered unconditionally at module load (not lazily on first spawn):
+   an aborted run can kill the process between [ensure_helpers]'s spawn
+   and its bookkeeping, and a parked helper domain must never survive the
+   main domain. *)
+let () = at_exit shutdown
 
 (* Grow the helper set to [k]; never shrinks — an idle helper parked on
    the condition variable costs nothing measurable. *)
 let ensure_helpers k =
   if k > pool.helpers then begin
     Mutex.lock pool.lock;
-    if not !exit_hook then begin
-      exit_hook := true;
-      at_exit shutdown_pool
-    end;
     let missing = k - pool.helpers in
     if missing > 0 && not pool.shutdown then begin
       pool.helpers <- k;

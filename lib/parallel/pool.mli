@@ -36,3 +36,12 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     default for this call. *)
 
 val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
+
+val shutdown : unit -> unit
+(** Retire every parked helper domain (idempotent — safe to call any
+    number of times, from cleanup paths and the [at_exit] hook alike;
+    each helper is joined exactly once).  Registered via [at_exit] at
+    module load, so an aborted run — e.g. a fuzz case killed by the
+    watchdog — never leaves helper domains alive.  The pool remains
+    usable afterwards: {!map} still drains every batch on the calling
+    domain, only without helper parallelism. *)

@@ -1,6 +1,7 @@
 module Mpz = Inl_num.Mpz
 module Budget = Inl_diag.Budget
 module Faults = Inl_diag.Faults
+module Watchdog = Inl_diag.Watchdog
 
 exception Blowup of string
 
@@ -306,6 +307,10 @@ let project_run ~budget sys ~keep =
      constraint-level measure lets small budgets bite on small systems
      (useful for testing the degraded path). *)
   let rec drain pending done_ count =
+    (* the wall-clock watchdog (if one is installed) is polled exactly
+       where the work budget is metered: every place the engine can spend
+       unbounded time also passes through here *)
+    Watchdog.poll ();
     if count > work_limit then
       raise (Blowup (Printf.sprintf "work budget exhausted (%d items)" work_limit));
     match pending with
@@ -361,8 +366,13 @@ let project ?ctx ?budget sys ~keep =
       (Blowup
          (Printf.sprintf "projection count exceeded the analysis budget (%d)"
             ctx.budget.Budget.max_projections));
-  if Faults.project_should_fail () then
-    raise (Blowup "injected fault: forced projection failure");
+  (match Faults.project_fault () with
+  | `None -> ()
+  | `Fail -> raise (Blowup "injected fault: forced projection failure")
+  | `Hang ->
+      (* a simulated lost-progress solver: spins until the watchdog
+         (when installed) raises Timeout *)
+      Watchdog.hang ());
   (* Both the cached and uncached paths run on the canonical system, so a
      cache hit is bit-identical to a recomputation and cache-on/cache-off
      runs cannot diverge.  (The engine normalizes every work item anyway;

@@ -11,6 +11,8 @@
      V104  a source dependence is executed out of order
      V105  a statement computes a different expression
      V106  the statement sets differ
+     V107  (warning) a statement with a provably empty execution set
+           was dropped — instance sets are trivially preserved
 
    Together V101-V103 + V105 say each statement performs exactly its
    source computations once, and V104 says conflicting accesses keep
@@ -583,9 +585,18 @@ let check ?ctx ~(source : Ast.program) (gen : Ast.program) : Diag.t list =
   List.iter
     (fun (o : Exec.occurrence) ->
       if find_gen o.Exec.stmt.Ast.label = None then
-        add
-          (vdiag Diag.Error "V106" "statement %s is missing from the transformed program"
-             o.Exec.stmt.Ast.label))
+        (* a statement that provably never executes (empty bounds for
+           every parameter value) may legitimately vanish: dropping it
+           preserves the (empty) instance set *)
+        if List.exists (fun (c : Exec.ctxt) -> satisfiable ?ctx c.Exec.sys) o.Exec.ctxts then
+          add
+            (vdiag Diag.Error "V106" "statement %s is missing from the transformed program"
+               o.Exec.stmt.Ast.label)
+        else
+          add
+            (vdiag Diag.Warning "V107"
+               "statement %s has a provably empty execution set and was dropped"
+               o.Exec.stmt.Ast.label))
     src_occs;
   List.iter
     (fun (o : Exec.occurrence) ->

@@ -132,7 +132,7 @@ diagnostic (exit 1), never an uncaught exception:
 A malformed fault spec is a driver error:
 
   $ inltool deps chol.loop --inject-faults frob=1
-  error[D701] driver: unknown fault key "frob" (every|after|cap)
+  error[D701] driver: unknown fault key "frob" (every|after|cap|hang)
   [1]
 
 Static verification (inltool verify).  Capture the generated program,
@@ -206,5 +206,25 @@ warning (never an exception) and the run exits 2:
   $ grep -c 'V900' stderr.log
   8
   $ grep -ci backtrace stderr.log
+  0
+  [1]
+
+Malformed input ends in a typed diagnostic and exit 1, never an uncaught
+backtrace — here an integer literal too large for the host int:
+
+  $ printf 'params N\ndo I = 1..99999999999999999999\n  S1: A(I) = 0\nenddo\n' > huge.loop
+  $ inltool show huge.loop
+  error[P101] parse: parse error: line 2: integer literal 99999999999999999999 out of range
+  [1]
+  $ inltool verify huge.loop
+  error[P101] parse: parse error: line 2: integer literal 99999999999999999999 out of range
+  [1]
+
+With the projection cache disabled, --stats says so instead of printing
+all-zero counters:
+
+  $ inltool deps chol.loop --stats --no-cache 2>&1 >/dev/null | grep 'projection cache'
+  projection cache: disabled (--no-cache)
+  $ inltool deps chol.loop --stats 2>&1 >/dev/null | grep -c 'projection cache: disabled'
   0
   [1]

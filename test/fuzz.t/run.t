@@ -1,0 +1,63 @@
+The differential fuzzing harness, end to end.  Case streams are derived
+independently from (seed, index), so every line below is deterministic.
+
+A seeded smoke campaign: 50 cases under a generous per-case watchdog.
+Zero findings means the three judges — legality, static translation
+validation, and the interpreter — agreed on every case:
+
+  $ inltool fuzz --seed 42 --cases 50 --timeout-ms 5000 --corpus corpus
+  fuzz: seed=42 cases=50 completed=50 ok=34 skipped=16 findings=0 (crash=0 divergence=0 verdict-mismatch=0 timeout=0)
+
+The summary line is persisted into the corpus for later inspection:
+
+  $ cat corpus/summary
+  fuzz: seed=42 cases=50 completed=50 ok=34 skipped=16 findings=0 (crash=0 divergence=0 verdict-mismatch=0 timeout=0)
+
+Interrupted campaigns resume.  Run three cases, then ask for five: the
+driver continues at case 4, and the split totals (1+0 ok, 2+2 skipped)
+equal the uninterrupted five-case campaign:
+
+  $ inltool fuzz --seed 42 --cases 3 --corpus resume
+  fuzz: seed=42 cases=3 completed=3 ok=1 skipped=2 findings=0 (crash=0 divergence=0 verdict-mismatch=0 timeout=0)
+  $ inltool fuzz --seed 42 --cases 5 --corpus resume
+  fuzz: resuming at case 4 of 5
+  fuzz: seed=42 cases=5 completed=2 ok=0 skipped=2 findings=0 (crash=0 divergence=0 verdict-mismatch=0 timeout=0)
+
+A corpus remembers its seed; continuing it under a different one is
+refused rather than silently mixing case streams:
+
+  $ inltool fuzz --seed 9 --cases 5 --corpus resume
+  error[D706] driver: corpus resume belongs to a campaign seeded with 42, not 9 (use a fresh directory or the original seed)
+  [1]
+
+The watchdog drill: an injected solver hang (fault key hang=N makes
+every projection after the Nth spin forever) is converted into a timeout
+finding — after one retry under a reduced solver budget — instead of
+wedging the harness.  The case is quarantined as a replayable pair next
+to its pre-shrink original and a triage note:
+
+  $ inltool fuzz --seed 42 --cases 1 --timeout-ms 200 --corpus hang --no-shrink --inject-faults hang=30
+  fuzz: case 0: finding timeout -> hang/finding-0-timeout [case exceeded the 200 ms watchdog twice (reduced-budget retry at fm_work=50000)]
+  fuzz: seed=42 cases=1 completed=1 ok=0 skipped=0 findings=1 (crash=0 divergence=0 verdict-mismatch=0 timeout=1)
+  [1]
+  $ ls hang | sort
+  cursor
+  finding-0-timeout-detail.txt
+  finding-0-timeout-orig.inl
+  finding-0-timeout-orig.tf
+  finding-0-timeout.inl
+  finding-0-timeout.tf
+  summary
+
+Replaying the quarantined finding under the same fault configuration
+reproduces the timeout signature (exit 1):
+
+  $ inltool fuzz --replay hang/finding-0-timeout --timeout-ms 200 --inject-faults hang=0
+  replay finding-0-timeout: finding timeout: case exceeded the 200 ms wall-clock watchdog
+  [1]
+
+Without the injected hang the same case is healthy — the finding was the
+hang, not the program:
+
+  $ inltool fuzz --replay hang/finding-0-timeout
+  replay finding-0-timeout: pass: illegal (consistent: nothing to generate)

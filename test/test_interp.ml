@@ -1,0 +1,161 @@
+(* Interpreter coverage for the shapes code generation actually emits:
+   augmentation (extra-loop) output with singular-statement guards,
+   negative bounds from reversal, strided loops with exact-division lets
+   from scaling — plus the bounded-execution contract the fuzzing oracle
+   relies on.  Each generated program is also round-tripped through the
+   pretty-printer and parser, because that is how quarantined fuzz cases
+   come back from disk. *)
+
+module Interp = Inl_interp.Interp
+module Ast = Inl_ir.Ast
+module Pp = Inl_ir.Pp
+module Parser = Inl_ir.Parser
+module Mat = Inl_linalg.Mat
+module Px = Inl_kernels.Paper_examples
+module Mpz = Inl_num.Mpz
+
+let sizes = [ 1; 2; 3; 5 ]
+
+let check_equiv name src gen =
+  List.iter
+    (fun n ->
+      match Interp.equivalent src gen ~params:[ ("N", n) ] with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "%s differs at N=%d: %s" name n d)
+    sizes
+
+let transform_exn ?(simplify = true) src rows =
+  let ctx = Inl.analyze_source src in
+  match Inl.transform ctx ~simplify (Mat.of_int_lists rows) with
+  | Ok p -> (ctx.Inl.program, p)
+  | Error ds -> Alcotest.failf "transform failed: %s" (Inl.Diag.list_to_string ds)
+
+let pipeline_exn ?(simplify = true) src steps =
+  let ctx = Inl.analyze_source src in
+  let steps =
+    List.map
+      (fun (kind, spec) ->
+        match Inl.Pipeline.step_of_spec ~kind spec with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "bad step %s %s: %s" kind spec msg)
+      steps
+  in
+  match Inl.pipeline ctx steps with
+  | Error ds -> Alcotest.failf "pipeline failed: %s" (Inl.Diag.list_to_string ds)
+  | Ok m -> (
+      match Inl.transform ctx ~simplify m with
+      | Ok p -> (ctx.Inl.program, p)
+      | Error ds -> Alcotest.failf "transform failed: %s" (Inl.Diag.list_to_string ds))
+
+let rec fold_nodes f acc node =
+  let acc = f acc node in
+  match node with
+  | Ast.Loop l -> List.fold_left (fold_nodes f) acc l.Ast.body
+  | Ast.If (_, body) | Ast.Let (_, _, body) -> List.fold_left (fold_nodes f) acc body
+  | Ast.Stmt _ -> acc
+
+let count (prog : Ast.program) pred =
+  List.fold_left (fold_nodes (fun a n -> if pred n then a + 1 else a)) 0 prog.Ast.nest
+
+let roundtrip name (gen : Ast.program) =
+  match Parser.parse (Pp.program_to_string gen) with
+  | Error msg -> Alcotest.failf "%s does not re-parse: %s" name msg
+  | Ok back -> back
+
+(* ---- augmented codegen output (Section 5.4/5.5) ---- *)
+
+let test_augmented_equivalent () =
+  (* the paper's singular-S1 matrix: S1 collapses to one outer iteration
+     and codegen augments it with an extra loop plus a guard *)
+  List.iter
+    (fun simplify ->
+      let src, gen =
+        transform_exn ~simplify Px.augmentation_example Px.section55_matrix_rows
+      in
+      check_equiv "augmented" src gen;
+      check_equiv "augmented (re-parsed)" src (roundtrip "augmented" gen))
+    [ false; true ]
+
+let test_augmented_structure () =
+  let _, gen = transform_exn ~simplify:false Px.augmentation_example Px.section55_matrix_rows in
+  let loops = count gen (function Ast.Loop _ -> true | _ -> false) in
+  let guards = count gen (function Ast.If _ -> true | _ -> false) in
+  Alcotest.(check bool) "augmentation loop present" true (loops >= 3);
+  Alcotest.(check bool) "singular-statement guard present" true (guards >= 1)
+
+let test_singular_guard_counts () =
+  (* the guard must fire S1 exactly as often as the source runs it: the
+     augmented loop enumerates candidates, the guard filters them *)
+  let src, gen = pipeline_exn ~simplify:false Px.augmentation_example [ ("skew", "I,J,-1") ] in
+  Alcotest.(check bool) "guard present" true
+    (count gen (function Ast.If _ -> true | _ -> false) >= 1);
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "operation count at N=%d" n)
+        (Interp.operation_count src ~params:[ ("N", n) ])
+        (Interp.operation_count gen ~params:[ ("N", n) ]))
+    sizes;
+  check_equiv "singular guard" src gen
+
+(* ---- reversal: negative loop bounds ---- *)
+
+let rev_src = "params N\ndo i = 1..N\n  S1: B(i) = A(i) + C(i - 1)\nenddo\n"
+
+let test_reverse_negative_bounds () =
+  let src, gen = pipeline_exn rev_src [ ("reverse", "i") ] in
+  (* the reversed loop runs -N..-1: upper bound constant -1 *)
+  let neg_upper =
+    count gen (function
+      | Ast.Loop l -> (
+          match l.Ast.upper.Ast.terms with
+          | [ { Ast.num; _ } ] ->
+              Inl_presburger.Linexpr.vars num = [] && Mpz.sign (Inl_presburger.Linexpr.constant num) < 0
+          | _ -> false)
+      | _ -> false)
+  in
+  Alcotest.(check bool) "negative upper bound" true (neg_upper >= 1);
+  check_equiv "reversed" src gen;
+  check_equiv "reversed (re-parsed)" src (roundtrip "reversed" gen)
+
+let test_scale_strided () =
+  (* scaling emits a strided loop plus an exact-division let binding *)
+  let src, gen = pipeline_exn rev_src [ ("scale", "i,2") ] in
+  let strided =
+    count gen (function Ast.Loop l -> not (Mpz.is_one l.Ast.step) | _ -> false)
+  in
+  let lets = count gen (function Ast.Let _ -> true | _ -> false) in
+  Alcotest.(check bool) "strided loop" true (strided >= 1);
+  Alcotest.(check bool) "let binding" true (lets >= 1);
+  check_equiv "scaled" src gen;
+  check_equiv "scaled (re-parsed)" src (roundtrip "scaled" gen)
+
+(* ---- bounded execution (the fuzzing oracle's anti-hang contract) ---- *)
+
+let test_step_limit () =
+  let prog = Parser.parse_exn Px.simplified_cholesky in
+  (* unbounded and generous bounds agree *)
+  let full = Interp.run prog ~params:[ ("N", 5) ] in
+  let bounded = Interp.run ~max_steps:100_000 prog ~params:[ ("N", 5) ] in
+  Alcotest.(check bool) "bounded run matches" true (Interp.stores_equal full bounded);
+  (* a tiny allowance must raise, not spin *)
+  (match Interp.run ~max_steps:3 prog ~params:[ ("N", 5) ] with
+  | _ -> Alcotest.fail "expected Step_limit"
+  | exception Interp.Step_limit n -> Alcotest.(check int) "limit echoed" 3 n);
+  match Interp.equivalent ~max_steps:3 prog prog ~params:[ ("N", 5) ] with
+  | _ -> Alcotest.fail "expected Step_limit from equivalent"
+  | exception Interp.Step_limit _ -> ()
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "generated-shapes",
+        [
+          Alcotest.test_case "augmented output equivalent" `Quick test_augmented_equivalent;
+          Alcotest.test_case "augmentation structure" `Quick test_augmented_structure;
+          Alcotest.test_case "singular guards preserve counts" `Quick test_singular_guard_counts;
+          Alcotest.test_case "reversal: negative bounds" `Quick test_reverse_negative_bounds;
+          Alcotest.test_case "scaling: strides and lets" `Quick test_scale_strided;
+        ] );
+      ("bounded-execution", [ Alcotest.test_case "step limit" `Quick test_step_limit ]);
+    ]

@@ -69,6 +69,25 @@ let test_jobs_cap () =
   Alcotest.(check int) "clamped to 1" 1 (Pool.requested_jobs ());
   Pool.set_jobs before
 
+(* ---- shutdown ---- *)
+
+let test_shutdown_idempotent () =
+  (* spin helpers up, tear them down twice, and keep using the pool:
+     shutdown is idempotent and never strands a caller *)
+  Alcotest.(check (list int)) "warm-up" [ 0; 1; 2 ] (Pool.map ~jobs:3 Fun.id [ 0; 1; 2 ]);
+  Pool.shutdown ();
+  Pool.shutdown ();
+  Alcotest.(check (list int))
+    "usable after shutdown" [ 1; 4; 9 ]
+    (Pool.map ~jobs:3 (fun x -> x * x) [ 1; 2; 3 ]);
+  Pool.shutdown ();
+  Alcotest.(check (list int)) "and again" [ 5 ] (Pool.map ~jobs:2 Fun.id [ 5 ])
+
+let test_shutdown_cold () =
+  (* shutdown with no helpers ever started is a no-op *)
+  Pool.shutdown ();
+  Alcotest.(check (list int)) "still works" [ 7 ] (Pool.map ~jobs:2 Fun.id [ 7 ])
+
 (* ---- projection cache unit tests ---- *)
 
 let canon_exn sys =
@@ -275,5 +294,10 @@ let () =
           Alcotest.test_case "legality verdicts agree across configs" `Quick
             test_legality_jobs_agree;
           Alcotest.test_case "dependences sorted" `Quick test_deps_sorted;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "idempotent and non-stranding" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "cold shutdown is a no-op" `Quick test_shutdown_cold;
         ] );
     ]
