@@ -2,7 +2,7 @@
 # full build, test suite, and static verification of the example
 # kernels (examples/kernels/dune).
 
-.PHONY: all build test check fuzz-smoke bench-json clean
+.PHONY: all build test check fuzz-smoke search-smoke bench-json clean
 
 all: build
 
@@ -26,15 +26,27 @@ fuzz-smoke:
 	rm -rf corpus
 	./_build/default/bin/inltool.exe fuzz --seed 42 --cases 50 --timeout-ms 5000 --corpus corpus
 
+# Autotuner smoke run (the same tiny fixed-seed search the dune runtest
+# rule and the test/search.t cram test pin down): exits nonzero if the
+# winner recipe drifts or jobs=1 and jobs=2 outputs differ by a byte.
+search-smoke:
+	dune build bench/bench_search.exe
+	./_build/default/bench/bench_search.exe --smoke --jobs 2
+
 # Solver-core benchmark: full-Cholesky analyze + legality + completion +
 # codegen + verify under (cache off/on) x (jobs 1/4); writes
 # BENCH_solver.json with per-config wall time, solver calls, cache hit
 # rate and the baseline-vs-best speedup.  Fails if any configuration's
 # rendered output differs by a byte from the sequential uncached run.
+# Then the autotuner benchmark: a default-budget `Search.optimize` on
+# kji Cholesky at jobs 1 vs 4; writes BENCH_search.json with wall time,
+# candidates/sec, the winner recipe and its simulated miss count.
 bench-json:
-	dune build bench/bench_solver.exe
+	dune build bench/bench_solver.exe bench/bench_search.exe
 	./_build/default/bench/bench_solver.exe -o BENCH_solver.json
 	cat BENCH_solver.json
+	./_build/default/bench/bench_search.exe -o BENCH_search.json
+	cat BENCH_search.json
 
 clean:
 	dune clean

@@ -1,0 +1,163 @@
+(* Autotuner benchmark: wall-clock and candidate throughput of
+   `Search.optimize` on the paper's kji Cholesky at jobs=1 vs jobs=N,
+   emitting a JSON report (BENCH_search.json via `make bench-json`).
+
+   The workload renders the full outcome — every finalist's recipe,
+   scores and generated code plus the winner — into a byte buffer, and
+   the benchmark fails loudly if the parallel configuration disagrees
+   with the sequential one on a single byte: the search's determinism
+   contract, measured rather than assumed.
+
+   `--smoke` (wired into `dune runtest` and `make search-smoke`) runs a
+   tiny fixed-seed search and asserts the pinned winner recipe, so the
+   tier-1 gate notices if the search's ranking ever drifts. *)
+
+module Px = Inl_kernels.Paper_examples
+module Search = Inl_search.Search
+module Tf = Inl_fuzz.Tf
+module Pool = Inl.Pool
+
+let out_path = ref ""
+let par_jobs = ref 4
+let smoke = ref false
+
+(* The `make search-smoke` configuration: small enough to run inside the
+   test suite, big enough that the beam has real choices to make. *)
+let smoke_config =
+  {
+    Search.default_config with
+    Search.beam = 4;
+    depth = 2;
+    finalists = 3;
+    size = 16;
+  }
+
+let smoke_winner = "complete row=[0,0,0,0,1,0,0]"
+
+let render (o : Search.outcome) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "source misses=%s\n"
+       (match o.Search.source_misses with Some m -> string_of_int m | None -> "-"));
+  List.iter
+    (fun (e : Search.entry) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %s %.6f %s\n%s" e.Search.rank
+           (Search.recipe_line e.Search.recipe)
+           e.Search.static_score
+           (match e.Search.misses with Some m -> string_of_int m | None -> "-")
+           (match e.Search.program with Some p -> Inl.Pp.program_to_string p | None -> "")))
+    o.Search.entries;
+  Buffer.add_string b
+    (match o.Search.winner with
+    | Some w -> "winner " ^ Search.recipe_line w.Search.recipe ^ "\n"
+    | None -> "no winner\n");
+  Buffer.contents b
+
+type outcome = {
+  name : string;
+  jobs : int;
+  effective_jobs : int;
+  wall_s : float;
+  candidates : int;
+  output : string;
+  result : Search.outcome;
+}
+
+let run_config ~name ~jobs config : outcome =
+  Pool.set_jobs jobs;
+  Inl.Stats.reset ();
+  let ctx = Inl.analyze_source Px.cholesky_kji in
+  (* two passes, best wall time: suppresses scheduler noise *)
+  let t0 = Unix.gettimeofday () in
+  let r1 = Search.optimize ~config ctx in
+  let pass1 = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let r2 = Search.optimize ~config ctx in
+  let pass2 = Unix.gettimeofday () -. t1 in
+  let output = render r1 in
+  if not (String.equal output (render r2)) then (
+    prerr_endline "FAIL: two passes of one configuration disagreed";
+    exit 1);
+  {
+    name;
+    jobs;
+    effective_jobs = Pool.jobs ();
+    wall_s = Float.min pass1 pass2;
+    candidates = r1.Search.funnel.Search.generated;
+    output;
+    result = r1;
+  }
+
+let json_of_outcome (o : outcome) : string =
+  Printf.sprintf
+    "    {\"name\": %S, \"jobs\": %d, \"effective_jobs\": %d, \"wall_s\": %.6f, \
+     \"candidates\": %d, \"candidates_per_s\": %.1f}"
+    o.name o.jobs o.effective_jobs o.wall_s o.candidates
+    (if o.wall_s > 0.0 then float_of_int o.candidates /. o.wall_s else 0.0)
+
+let () =
+  let speclist =
+    [
+      ("--jobs", Arg.Set_int par_jobs, "N worker domains for the parallel configuration");
+      ("--smoke", Arg.Set smoke, " tiny fixed-seed search with a pinned winner");
+      ("-o", Arg.Set_string out_path, "FILE write the JSON report here (default: stdout)");
+    ]
+  in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench_search [--jobs N] [--smoke] [-o FILE]";
+  let config = if !smoke then smoke_config else Search.default_config in
+  let outcomes =
+    [
+      run_config ~name:"jobs1" ~jobs:1 config;
+      run_config ~name:(Printf.sprintf "jobs%d" !par_jobs) ~jobs:!par_jobs config;
+    ]
+  in
+  let baseline = List.hd outcomes and best = List.nth outcomes 1 in
+  let equal = String.equal baseline.output best.output in
+  let winner_line =
+    match baseline.result.Search.winner with
+    | Some w -> Search.recipe_line w.Search.recipe
+    | None -> "none"
+  in
+  let winner_misses =
+    match baseline.result.Search.winner with
+    | Some { Search.misses = Some m; _ } -> string_of_int m
+    | _ -> "null"
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"optimize kji cholesky (beam=%d depth=%d finalists=%d size=%d seed=%d)\",\n\
+      \  \"configs\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"winner\": %S,\n\
+      \  \"winner_misses\": %s,\n\
+      \  \"source_misses\": %s,\n\
+      \  \"outputs_byte_equal\": %b,\n\
+      \  \"speedup\": %.2f\n\
+       }\n"
+      config.Search.beam config.Search.depth config.Search.finalists config.Search.size
+      config.Search.seed
+      (String.concat ",\n" (List.map json_of_outcome outcomes))
+      winner_line winner_misses
+      (match baseline.result.Search.source_misses with
+      | Some m -> string_of_int m
+      | None -> "null")
+      equal
+      (if best.wall_s > 0.0 then baseline.wall_s /. best.wall_s else 0.0)
+  in
+  (match !out_path with
+  | "" -> print_string json
+  | path ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc);
+  if not equal then (
+    prerr_endline "FAIL: jobs=1 and jobs=N produced different outputs";
+    exit 1);
+  if !smoke && not (String.equal winner_line smoke_winner) then (
+    Printf.eprintf "FAIL: smoke winner drifted: expected %S, got %S\n" smoke_winner winner_line;
+    exit 1)

@@ -153,7 +153,10 @@ let report_stats () =
     (fun (phase, wall, calls) ->
       Printf.eprintf "phase %-10s %8.3f s (%d call%s)\n" phase wall calls
         (if calls = 1 then "" else "s"))
-    (Inl.Stats.phases ())
+    (Inl.Stats.phases ());
+  List.iter
+    (fun (name, n) -> Printf.eprintf "counter %-24s %8d\n" name n)
+    (Inl.Stats.counters ())
 
 (* Print the report (when requested) without disturbing the exit code. *)
 let finish stats code =
@@ -284,47 +287,89 @@ let check_flag =
            dependence-order preservation plus the well-formedness lint (exit 1 on a \
            verification error, 2 when a check degraded under the resource budget).")
 
-let apply_cmd =
-  let run common file interchanges reverses scales skews aligns reorders no_simplify verify check
-      =
-    with_context common file (fun ctx ->
-        match
-          collect_steps
+(* The shared back half of `apply`: a materialized total matrix goes
+   through legality + codegen, then the optional post-passes. *)
+let apply_matrix ctx ~no_simplify ~verify ~check (total : Inl.Mat.t) : int =
+  Format.printf "transformation matrix:@.%a@.@." Inl.Mat.pp total;
+  match Inl.transform ctx ~simplify:(not no_simplify) total with
+  | Error ds ->
+      print_diags (ctx.Inl.diags @ ds);
+      1
+  | Ok prog ->
+      Format.printf "%s@." (Inl.Pp.program_to_string prog);
+      print_diags ctx.Inl.diags;
+      let check_code = if check then run_check ctx prog else 0 in
+      let verify_code = match verify with None -> 0 | Some n -> run_interp_verify ctx prog n in
+      merge_code check_code verify_code
+
+(* Load and materialize a .tf recipe — the one replay path shared by
+   fuzz quarantine pairs and search winners.  Malformed or mismatched
+   recipes are typed D705 driver errors, never backtraces. *)
+let materialize_recipe ctx path : (Inl.Mat.t, Diag.t list) result =
+  match Inl_fuzz.Tf.of_string (read_file path) with
+  | Error msg ->
+      Error [ Diag.errorf ~code:"D705" ~phase:Diag.Driver "malformed recipe %s: %s" path msg ]
+  | exception Sys_error msg -> Error [ Diag.error ~code:"D704" ~phase:Diag.Driver msg ]
+  | Ok recipe -> (
+      match Inl_fuzz.Tf.materialize ctx recipe with
+      | Ok m -> Ok m
+      | Error msg ->
+          Error
             [
-              ("interchange", interchanges);
-              ("reverse", reverses);
-              ("scale", scales);
-              ("skew", skews);
-              ("align", aligns);
-              ("reorder", reorders);
+              Diag.errorf ~code:"D705" ~phase:Diag.Driver
+                "recipe %s does not materialize against this program: %s" path msg;
             ]
-        with
-        | Error ds ->
-            print_diags ds;
-            1
-        | Ok [] ->
+      | exception e ->
+          Error
+            [
+              Diag.errorf ~code:"D705" ~phase:Diag.Driver
+                "recipe %s does not materialize against this program: %s" path
+                (Printexc.to_string e);
+            ])
+
+let apply_cmd =
+  let run common file recipe interchanges reverses scales skews aligns reorders no_simplify
+      verify check =
+    with_context common file (fun ctx ->
+        let step_groups =
+          [
+            ("interchange", interchanges);
+            ("reverse", reverses);
+            ("scale", scales);
+            ("skew", skews);
+            ("align", aligns);
+            ("reorder", reorders);
+          ]
+        in
+        match recipe with
+        | Some path when List.exists (fun (_, specs) -> specs <> []) step_groups ->
             print_diags
-              [ Diag.error ~code:"D703" ~phase:Diag.Driver "no transformation steps given" ];
+              [
+                Diag.errorf ~code:"D703" ~phase:Diag.Driver
+                  "--recipe %s cannot be combined with step options" path;
+              ];
             1
-        | Ok steps -> (
-            match Inl.pipeline ctx steps with
+        | Some path -> (
+            match materialize_recipe ctx path with
             | Error ds ->
-                print_diags (ctx.Inl.diags @ ds);
+                print_diags ds;
                 1
-            | Ok total -> (
-                Format.printf "transformation matrix:@.%a@.@." Inl.Mat.pp total;
-                match Inl.transform ctx ~simplify:(not no_simplify) total with
+            | Ok total -> apply_matrix ctx ~no_simplify ~verify ~check total)
+        | None -> (
+            match collect_steps step_groups with
+            | Error ds ->
+                print_diags ds;
+                1
+            | Ok [] ->
+                print_diags
+                  [ Diag.error ~code:"D703" ~phase:Diag.Driver "no transformation steps given" ];
+                1
+            | Ok steps -> (
+                match Inl.pipeline ctx steps with
                 | Error ds ->
                     print_diags (ctx.Inl.diags @ ds);
                     1
-                | Ok prog ->
-                    Format.printf "%s@." (Inl.Pp.program_to_string prog);
-                    print_diags ctx.Inl.diags;
-                    let check_code = if check then run_check ctx prog else 0 in
-                    let verify_code =
-                      match verify with None -> 0 | Some n -> run_interp_verify ctx prog n
-                    in
-                    merge_code check_code verify_code)))
+                | Ok total -> apply_matrix ctx ~no_simplify ~verify ~check total)))
   in
   let no_simplify =
     Arg.(value & flag & info [ "no-simplify" ] ~doc:"Skip the cleanup pass of Section 5.5.")
@@ -332,10 +377,20 @@ let apply_cmd =
   let verify =
     Arg.(value & opt (some int) None & info [ "verify" ] ~docv:"N" ~doc:"Check equivalence by interpretation at size N.")
   in
+  let recipe =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "recipe" ] ~docv:"R.tf"
+          ~doc:
+            "Apply a transformation recipe file (the $(b,tf v1) format shared by fuzz \
+             quarantine pairs and $(b,optimize) winners) instead of step options; the recipe \
+             re-materializes against FILE through the normal pipeline.")
+  in
   Cmd.v
     (Cmd.info "apply" ~doc:"Apply a pipeline of loop transformations (Section 4).")
     Term.(
-      const run $ setup_term $ file_arg
+      const run $ setup_term $ file_arg $ recipe
       $ list_opt "interchange" "Interchange two loops: $(i,A,B)."
       $ list_opt "reverse" "Reverse a loop: $(i,V)."
       $ list_opt "scale" "Scale a loop: $(i,V,k)."
@@ -505,6 +560,104 @@ let run_cmd =
           program, including generated code with guards and lets.")
     Term.(const run $ setup_term $ file_arg $ nparam)
 
+(* ---- optimize ---- *)
+
+module Search = Inl_search.Search
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let optimize_cmd =
+  let run common file beam depth finalists size seed out =
+    with_context common file (fun ctx ->
+        let config =
+          { Search.default_config with beam; depth; finalists; size; seed }
+        in
+        let o = Search.optimize ~config ctx in
+        let f = o.Search.funnel in
+        Printf.printf
+          "search: generated=%d materialize-failed=%d duplicate=%d pruned-illegal=%d \
+           scored=%d simulated=%d\n"
+          f.Search.generated f.Search.materialize_failed f.Search.duplicate f.Search.illegal
+          f.Search.scored f.Search.simulated;
+        (match (o.Search.source_accesses, o.Search.source_misses) with
+        | Some a, Some m ->
+            Printf.printf "source: accesses=%d misses=%d miss-rate=%.2f%%\n" a m
+              (100.0 *. float_of_int m /. float_of_int a)
+        | _ -> ());
+        Printf.printf "%4s  %10s  %8s  %6s  %s\n" "rank" "static" "misses" "miss%" "recipe";
+        List.iter
+          (fun (e : Search.entry) ->
+            let misses, rate =
+              match (e.Search.misses, e.Search.accesses) with
+              | Some m, Some a ->
+                  (string_of_int m, Printf.sprintf "%.2f%%" (100.0 *. float_of_int m /. float_of_int a))
+              | _ -> ("-", "-")
+            in
+            Printf.printf "%4d  %10.3f  %8s  %6s  %s\n" e.Search.rank e.Search.static_score
+              misses rate
+              (Search.recipe_line e.Search.recipe))
+          o.Search.entries;
+        print_diags ctx.Inl.diags;
+        print_diags o.Search.diags;
+        match o.Search.winner with
+        | None -> 1
+        | Some w ->
+            let prog = Option.get w.Search.program in
+            Printf.printf "\nwinner: %s\n" (Search.recipe_line w.Search.recipe);
+            let prefix =
+              match out with Some p -> p | None -> Filename.remove_extension file ^ ".opt"
+            in
+            write_file (prefix ^ ".loop") (Inl.Pp.program_to_string prog ^ "\n");
+            write_file (prefix ^ ".tf") (Inl_fuzz.Tf.to_string w.Search.recipe);
+            Printf.printf "wrote %s.loop and %s.tf\n" prefix prefix;
+            Format.printf "@.%s@." (Inl.Pp.program_to_string prog);
+            Diag.exit_code o.Search.diags)
+  in
+  let beam =
+    Arg.(value & opt int Search.default_config.Search.beam
+         & info [ "beam" ] ~docv:"B" ~doc:"Beam width of the move search.")
+  in
+  let depth =
+    Arg.(value & opt int Search.default_config.Search.depth
+         & info [ "depth" ] ~docv:"D" ~doc:"Move generations after the completion seeds.")
+  in
+  let finalists =
+    Arg.(value & opt int Search.default_config.Search.finalists
+         & info [ "finalists" ] ~docv:"K"
+             ~doc:"Statically ranked candidates promoted to the cache-simulation tier.")
+  in
+  let size =
+    Arg.(value & opt int Search.default_config.Search.size
+         & info [ "size" ] ~docv:"N"
+             ~doc:"Problem size for the simulation tier (every program parameter is bound to N).")
+  in
+  let seed =
+    Arg.(value & opt int Search.default_config.Search.seed
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Search seed (used only to subsample oversized move sets; the search is \
+                   deterministic for a fixed seed, independent of $(b,--jobs)).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"PREFIX"
+             ~doc:"Output prefix for the winning program ($(i,PREFIX).loop) and its replayable \
+                   recipe ($(i,PREFIX).tf); defaults to FILE minus its extension plus \
+                   $(b,.opt).")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Search the legal transformation space for a locality-optimized loop order: a \
+          deterministic beam search seeded by the Section 6 completion procedure, pruned by \
+          the exact legality test, ranked by a static reuse/stride model, with the finalists \
+          scored by cache simulation.  The winner is statically validated against the source \
+          ($(b,Inl_verify)) before being written; exits 1 when no candidate survives, 2 under \
+          degraded analysis or degraded search tiers.")
+    Term.(const run $ setup_term $ file_arg $ beam $ depth $ finalists $ size $ seed $ out)
+
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
@@ -621,4 +774,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ show_cmd; deps_cmd; apply_cmd; complete_cmd; verify_cmd; run_cmd; fuzz_cmd ]))
+          [
+            show_cmd;
+            deps_cmd;
+            apply_cmd;
+            complete_cmd;
+            verify_cmd;
+            run_cmd;
+            optimize_cmd;
+            fuzz_cmd;
+          ]))

@@ -16,7 +16,7 @@ let () =
   Printf.printf
     "Cache: %d KiB, %d-way, %dB lines; Cholesky N = %d (IR traces)\n\n"
     (Cachesim.capacity_bytes cfg / 1024)
-    2 64 n;
+    (Cachesim.assoc cfg) (Cachesim.line_bytes cfg) n;
   Printf.printf "%-6s %-32s %10s %10s %8s\n" "order" "family" "accesses" "misses" "miss%";
   let base = Inl.Parser.parse_exn Px.cholesky_kji in
   List.iter

@@ -7,6 +7,10 @@ let check_config c =
     invalid_arg "Cachesim: line_bytes and sets must be powers of two, assoc positive"
 
 let capacity_bytes c = c.line_bytes * c.sets * c.assoc
+let line_bytes c = c.line_bytes
+let sets c = c.sets
+let assoc c = c.assoc
+let elem_bytes = 8
 
 let direct_mapped ~capacity_bytes ~line_bytes =
   let c = { line_bytes; sets = capacity_bytes / line_bytes; assoc = 1 } in
@@ -92,8 +96,6 @@ module Address_map = struct
   type entry = { base : int; dims : int list }
   type map = (string * entry) list
 
-  let elem_bytes = 8
-
   let create (arrays : (string * int list) list) : map =
     let cursor = ref 0 in
     List.map
@@ -121,11 +123,11 @@ module Address_map = struct
         base + (flat * elem_bytes)
 end
 
-let simulate_program config arrays prog ~params =
+let simulate_program config arrays ?max_steps prog ~params =
   let map = Address_map.create arrays in
   let cache = create config in
   let trace (a : Inl_interp.Interp.access) =
     ignore (access cache (Address_map.address map a.Inl_interp.Interp.array a.Inl_interp.Interp.index))
   in
-  ignore (Inl_interp.Interp.run ~trace prog ~params);
+  ignore (Inl_interp.Interp.run ~trace ?max_steps prog ~params);
   stats cache

@@ -20,6 +20,15 @@ type t
 val create : config -> t
 val capacity_bytes : config -> int
 
+val line_bytes : config -> int
+val sets : config -> int
+val assoc : config -> int
+(** Field accessors, so reports and banners print the configuration they
+    actually simulate instead of restating literals. *)
+
+val elem_bytes : int
+(** Bytes per array element in {!Address_map}'s layout (8). *)
+
 val access : t -> int -> bool
 (** [access cache byte_address] touches one address and reports a hit. *)
 
@@ -45,8 +54,12 @@ end
 val simulate_program :
   config ->
   (string * int list) list ->
+  ?max_steps:int ->
   Inl_ir.Ast.program ->
   params:(string * int) list ->
   stats
 (** Runs the program in the interpreter and replays every array access
-    through a fresh cache. *)
+    through a fresh cache.  With [max_steps] the underlying execution is
+    bounded and raises {!Inl_interp.Interp.Step_limit} past the
+    allowance — the search's trace tier uses this to stay responsive on
+    pathological candidates. *)

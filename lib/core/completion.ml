@@ -86,6 +86,18 @@ let reorder_matrices (layout : Layout.t) : Mat.t list =
       apply (Mat.identity (Layout.size layout)) layout assignment)
     (combos sites)
 
+(* Candidate first rows for external search drivers: one signed unit
+   vector per loop column, in layout-column order. *)
+let seed_rows ?(allow_reversal = true) (layout : Layout.t) : Vec.t list =
+  let n = Layout.size layout in
+  Array.to_list layout.Layout.positions
+  |> List.mapi (fun i p -> (i, p))
+  |> List.concat_map (function
+       | i, Layout.Ploop _ ->
+           if allow_reversal then [ Vec.unit n i; Vec.scale_int (-1) (Vec.unit n i) ]
+           else [ Vec.unit n i ]
+       | _ -> [])
+
 (* Search-ordering heuristic: a loop row's "natural" columns are those
    outside its node's siblings' regions (at every ancestor level); the
    relaxed block structure allows any column (padded sibling references

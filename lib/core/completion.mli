@@ -48,3 +48,21 @@ val complete :
 val reorder_matrices : Layout.t -> Mat.t list
 (** All pure statement-reordering matrices of the program (the identity
     included) — the structure part of the search space. *)
+
+(** {2 Candidate hooks}
+
+    The pieces of the completion search space exposed for external
+    drivers (the {!Inl_search} autotuner seeds its beam from them). *)
+
+val reorder_sites : Inl_ir.Ast.program -> (Inl_ir.Ast.path * int) list
+(** Multi-child nodes of the program with their child counts — the sites
+    a statement reordering can permute, in DFS order. *)
+
+val seed_rows : ?allow_reversal:bool -> Layout.t -> Vec.t list
+(** The candidate first rows of the completion search: a signed unit
+    vector for every loop column of the layout, in column order
+    (positive before negative; negatives omitted when [allow_reversal]
+    is false, default true).  Handing one of these to {!complete} as the
+    sole partial row asks Section 6 to derive a full legal
+    transformation that makes the chosen loop (possibly reversed)
+    outermost. *)

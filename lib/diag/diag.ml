@@ -10,6 +10,7 @@ type phase =
   | Codegen
   | Interp
   | Verify
+  | Search
   | Driver
 
 type span = { line : int }
@@ -42,6 +43,7 @@ let phase_to_string = function
   | Codegen -> "codegen"
   | Interp -> "interp"
   | Verify -> "verify"
+  | Search -> "search"
   | Driver -> "driver"
 
 let to_string d =

@@ -20,6 +20,7 @@ type phase =
   | Codegen
   | Interp
   | Verify
+  | Search
   | Driver
 
 type span = { line : int }

@@ -25,4 +25,19 @@ let phases () =
       Hashtbl.fold (fun name p acc -> (name, p.wall_s, p.calls) :: acc) phases_tbl []
       |> List.sort compare)
 
-let reset () = Mutex.protect lock (fun () -> Hashtbl.reset phases_tbl)
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let count name n =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c := !c + n
+      | None -> Hashtbl.add counters_tbl name (ref n))
+
+let counters () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, !c) :: acc) counters_tbl [] |> List.sort compare)
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset phases_tbl;
+      Hashtbl.reset counters_tbl)

@@ -12,4 +12,14 @@ val add : string -> float -> unit
 val phases : unit -> (string * float * int) list
 (** [(phase, total_wall_seconds, timed_calls)], sorted by phase name. *)
 
+val count : string -> int -> unit
+(** [count name n] adds [n] to the named event counter — the search
+    subsystem uses these for its pruning funnel (candidates generated /
+    pruned by legality / statically scored / simulated).  Same mutex and
+    lifetime as the phase timings. *)
+
+val counters : unit -> (string * int) list
+(** All event counters, sorted by name. *)
+
 val reset : unit -> unit
+(** Clear both the phase timings and the event counters. *)

@@ -1,0 +1,31 @@
+(** The cheap static tier of the two-tier cost model.
+
+    Ranks a legal transformation by the memory behaviour of each
+    statement's {e innermost transformed loop}, read off the access
+    matrices — no code generation and no simulation.  For statement [S]
+    with per-statement transformation [T_S] (Definition 7), one step of
+    the innermost new loop moves the original iteration vector along
+    [d = T_S⁻¹·e_last]; every array reference's subscripts are affine in
+    the original iterators, so the per-step subscript delta is exact
+    rational arithmetic.  A reference then costs
+
+    - [0] when every subscript is invariant along [d] (temporal reuse),
+    - [|δ|/line_elems] when only the last (fastest-varying, row-major)
+      subscript moves, by at most a cache line (spatial reuse),
+    - [1] otherwise (a new line per iteration).
+
+    Costs are weighted by a nominal trip count per loop depth so deeply
+    nested statements dominate, matching their dynamic instance counts.
+    Lower is better; the score is a deterministic function of the
+    context and the block structure. *)
+
+val static_score : ?line_elems:int -> Inl.context -> Inl.Blockstruct.t -> float
+(** [line_elems] is the cache line size in array elements (default 8 =
+    64-byte lines of 8-byte elements).  Statements whose per-statement
+    transformation is singular (augmentation will add loops whose
+    locality is unknown here) are charged the pessimistic cost [1] per
+    reference. *)
+
+val collect_refs : Inl_ir.Ast.stmt -> Inl_ir.Ast.aref list
+(** The statement's array references: left-hand side first, then every
+    reference of the right-hand side in evaluation order. *)

@@ -1,0 +1,99 @@
+module Ast = Inl_ir.Ast
+
+let loops_with_paths (prog : Ast.program) : (Ast.path * Ast.loop) list =
+  let acc = ref [] in
+  let rec go prefix nodes =
+    List.iteri
+      (fun i n ->
+        match n with
+        | Ast.Loop l ->
+            acc := (prefix @ [ i ], l) :: !acc;
+            go (prefix @ [ i ]) l.Ast.body
+        | Ast.If (_, b) | Ast.Let (_, _, b) -> go (prefix @ [ i ]) b
+        | Ast.Stmt _ -> ())
+      nodes
+  in
+  go [] prog.Ast.nest;
+  List.rev !acc
+
+let rec is_proper_prefix a b =
+  match (a, b) with
+  | [], _ :: _ -> true
+  | x :: a', y :: b' -> x = y && is_proper_prefix a' b'
+  | _ -> false
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest) (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+(* Interchange and skew only make sense between loops on one
+   root-to-statement path: positions in sibling subtrees cannot swap or
+   reference each other under the block structure, so those pairs would
+   only burn legality checks. *)
+let nested_pairs loops =
+  List.concat_map
+    (fun (pa, (la : Ast.loop)) ->
+      List.filter_map
+        (fun (pb, (lb : Ast.loop)) ->
+          if is_proper_prefix pa pb then Some (la.Ast.var, lb.Ast.var) else None)
+        loops)
+    loops
+
+let path_spec (path : Ast.path) = String.concat "." (List.map string_of_int path)
+
+let enumerate (prog : Ast.program) : (string * string) list =
+  let loops = loops_with_paths prog in
+  let pairs = nested_pairs loops in
+  let interchanges =
+    List.map (fun (outer, inner) -> ("interchange", Printf.sprintf "%s,%s" outer inner)) pairs
+  in
+  let reversals = List.map (fun (_, (l : Ast.loop)) -> ("reverse", l.Ast.var)) loops in
+  let skews =
+    List.concat_map
+      (fun (outer, inner) ->
+        (* inner skewed by outer (the classical wavefront direction) and
+           outer by inner (the paper's Section 5.4 example) *)
+        List.concat_map
+          (fun (t, s) ->
+            [ ("skew", Printf.sprintf "%s,%s,1" t s); ("skew", Printf.sprintf "%s,%s,-1" t s) ])
+          [ (inner, outer); (outer, inner) ])
+      pairs
+  in
+  let stmts = Ast.stmts_with_paths prog in
+  let aligns =
+    if List.length stmts < 2 then []
+    else
+      List.concat_map
+        (fun (path, (s : Ast.stmt)) ->
+          List.concat_map
+            (fun (_, (l : Ast.loop)) ->
+              [
+                ("align", Printf.sprintf "%s,%s,1" s.Ast.label l.Ast.var);
+                ("align", Printf.sprintf "%s,%s,-1" s.Ast.label l.Ast.var);
+              ])
+            (Ast.loops_enclosing prog path))
+        stmts
+  in
+  let reorders =
+    List.concat_map
+      (fun (path, m) ->
+        let ids = List.init m Fun.id in
+        let perms =
+          if m <= 4 then List.filter (fun p -> p <> ids) (permutations ids)
+          else
+            List.init (m - 1) (fun i ->
+                List.mapi (fun j x -> if j = i then x + 1 else if j = i + 1 then x - 1 else x) ids)
+        in
+        List.map
+          (fun perm ->
+            ( "reorder",
+              Printf.sprintf "%s:%s" (path_spec path)
+                (String.concat "," (List.map string_of_int perm)) ))
+          perms)
+      (Inl.Completion.reorder_sites prog)
+  in
+  interchanges @ reversals @ skews @ aligns @ reorders

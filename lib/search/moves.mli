@@ -1,0 +1,26 @@
+(** Candidate move enumeration for the transformation autotuner.
+
+    A {e move} is one named pipeline step in the CLI's surface syntax —
+    the same [(kind, spec)] pairs {!Inl_fuzz.Tf} records — phrased
+    against the program shape reached by the recipe so far, exactly as
+    {!Inl.Pipeline.compose} will re-interpret it during replay.  The
+    enumeration is structural and deliberately over-approximate: a move
+    that fails to materialize or is rejected by the legality test is
+    pruned downstream, never silently skipped here.
+
+    Bounds: skew factors and alignment amounts are limited to [±1]
+    (composition reaches larger factors across generations), statement
+    reorderings enumerate all child permutations only at sites with at
+    most four children (adjacent transpositions above that). *)
+
+module Ast = Inl_ir.Ast
+
+val enumerate : Ast.program -> (string * string) list
+(** All bounded moves against the given program shape, in a fixed
+    deterministic order: interchanges (nested loop pairs), reversals,
+    skews (nested pairs, both directions, factor [±1]), alignments
+    (statement × enclosing loop × [±1], only in multi-statement
+    programs), then statement reorderings. *)
+
+val loops_with_paths : Ast.program -> (Ast.path * Ast.loop) list
+(** Every loop of the program with its path, in DFS order. *)

@@ -1,0 +1,395 @@
+module Tf = Inl_fuzz.Tf
+module Rng = Inl_fuzz.Rng
+module Diag = Inl_diag.Diag
+module Stats = Inl_diag.Stats
+module Watchdog = Inl_diag.Watchdog
+module Cachesim = Inl_cachesim.Cachesim
+module Interp = Inl_interp.Interp
+module Verify = Inl_verify.Verify
+module Ast = Inl_ir.Ast
+module Mat = Inl_linalg.Mat
+module Vec = Inl_linalg.Vec
+module Layout = Inl_instance.Layout
+module Dep = Inl_depend.Dep
+module Pool = Inl_parallel.Pool
+module Omega = Inl_presburger.Omega
+
+type config = {
+  beam : int;
+  depth : int;
+  finalists : int;
+  size : int;
+  seed : int;
+  max_moves : int;
+  cache : Cachesim.config;
+  sim_max_steps : int;
+}
+
+let default_config =
+  {
+    beam = 8;
+    depth = 3;
+    finalists = 6;
+    size = 48;
+    seed = 0;
+    max_moves = 64;
+    cache = Cachesim.set_associative ~capacity_bytes:8192 ~line_bytes:64 ~assoc:2;
+    sim_max_steps = 4_000_000;
+  }
+
+type entry = {
+  rank : int;
+  recipe : Tf.t;
+  static_score : float;
+  misses : int option;
+  accesses : int option;
+  program : Ast.program option;
+}
+
+type funnel = {
+  generated : int;
+  materialize_failed : int;
+  duplicate : int;
+  illegal : int;
+  scored : int;
+  simulated : int;
+}
+
+type outcome = {
+  entries : entry list;
+  winner : entry option;
+  source_misses : int option;
+  source_accesses : int option;
+  diags : Diag.t list;
+  funnel : funnel;
+}
+
+let recipe_line (t : Tf.t) : string =
+  if t.Tf.partial <> [] then
+    String.concat " "
+      ("complete"
+      :: List.map
+           (fun row ->
+             Printf.sprintf "row=[%s]" (String.concat "," (List.map string_of_int row)))
+           t.Tf.partial)
+  else if t.Tf.steps = [] then "identity"
+  else String.concat "; " (List.map (fun (kind, spec) -> kind ^ " " ^ spec) t.Tf.steps)
+
+(* ---- search states ---- *)
+
+(* A live (legal) state of the beam.  Completion-seeded states are not
+   extendable: the Tf format keeps completion rows and pipeline steps
+   mutually exclusive so recipes stay replayable, and appending a step
+   to a derived matrix has no recipe representation. *)
+type state = {
+  s_recipe : Tf.t;
+  s_key : string;  (** recipe text, the deterministic tie-breaker *)
+  s_matrix : Mat.t;
+  s_structure : Inl.Blockstruct.t;
+  s_unsatisfied : Dep.t list;
+  s_score : float;
+  s_extendable : bool;
+}
+
+(* Worker-side evaluation result; pure linear algebra and interval
+   legality only, safe to fan out over the Pool. *)
+type eval = Emat_failed of string | Eillegal of string | Elegal of state
+
+let compare_static a b =
+  match Float.compare a.s_score b.s_score with 0 -> compare a.s_key b.s_key | c -> c
+
+let evaluate (ctx : Inl.context) (lcache : Inl.Legality.cache) ~extendable (recipe : Tf.t)
+    ~(materialize : Tf.t -> (Mat.t, string) result) : eval =
+  match materialize recipe with
+  | Error msg -> Emat_failed msg
+  | exception e -> Emat_failed (Printexc.to_string e)
+  | Ok m -> (
+      match Inl.Legality.check ~cache:lcache ctx.Inl.layout m ctx.Inl.deps with
+      | Inl.Legality.Illegal reason -> Eillegal reason
+      | Inl.Legality.Legal { structure; unsatisfied } ->
+          Elegal
+            {
+              s_recipe = recipe;
+              s_key = Tf.to_string recipe;
+              s_matrix = m;
+              s_structure = structure;
+              s_unsatisfied = unsatisfied;
+              s_score = Cost.static_score ctx structure;
+              s_extendable = extendable;
+            })
+
+(* ---- trace tier ---- *)
+
+(* Array extents for the trace tier, measured by running the source once
+   and recording the largest subscript per dimension: a legal candidate
+   executes exactly the source's statement instances, so it touches
+   exactly the same cells.  Tight extents matter — padding would change
+   the line/set geometry and make the miss counts incomparable with
+   traces of the untransformed variants.  Falls back to a static
+   [size + 2] slop per dimension when the source itself cannot be traced
+   (out-of-range subscripts, step limit). *)
+let arrays_of (config : config) (prog : Ast.program) ~params : (string * int list) list =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let dims : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (_, (s : Ast.stmt)) ->
+      List.iter
+        (fun (r : Ast.aref) ->
+          if not (Hashtbl.mem seen r.Ast.array) then begin
+            Hashtbl.add seen r.Ast.array ();
+            Hashtbl.add dims r.Ast.array (Array.make (List.length r.Ast.index) 0);
+            order := r.Ast.array :: !order
+          end)
+        (Cost.collect_refs s))
+    (Ast.stmts_with_paths prog);
+  let fallback () =
+    List.rev_map
+      (fun name ->
+        (name, Array.to_list (Array.map (fun _ -> config.size + 2) (Hashtbl.find dims name))))
+      !order
+  in
+  let trace (a : Interp.access) =
+    match Hashtbl.find_opt dims a.Interp.array with
+    | None -> ()
+    | Some d -> List.iteri (fun i x -> if i < Array.length d && x > d.(i) then d.(i) <- x) a.Interp.index
+  in
+  match Interp.run ~trace ~max_steps:config.sim_max_steps prog ~params with
+  | _ -> List.rev_map (fun name -> (name, Array.to_list (Hashtbl.find dims name))) !order
+  | exception (Invalid_argument _ | Interp.Step_limit _) -> fallback ()
+
+let simulate (config : config) ~arrays ~params (prog : Ast.program) : Cachesim.stats option =
+  match
+    Cachesim.simulate_program config.cache arrays ~max_steps:config.sim_max_steps prog ~params
+  with
+  | stats -> Some stats
+  | exception (Invalid_argument _ | Interp.Step_limit _) -> None
+
+(* ---- the search ---- *)
+
+let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
+  Stats.timed "search" @@ fun () ->
+  let diags = ref [] in
+  let warn code fmt = Format.kasprintf (fun m -> diags := Diag.warning ~code ~phase:Diag.Search m :: !diags) fmt in
+  let lcache = Inl.Legality.make_cache () in
+  let generated = ref 0
+  and materialize_failed = ref 0
+  and duplicate = ref 0
+  and illegal = ref 0
+  and scored = ref 0
+  and simulated = ref 0 in
+  let seen : (int list list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let all_legal = ref [] in
+  (* Collect one generation's evaluations in input order: count the
+     funnel, drop duplicates by materialized matrix, keep fresh legal
+     states. *)
+  let collect (evals : eval list) : state list =
+    List.filter_map
+      (fun e ->
+        incr generated;
+        match e with
+        | Emat_failed _ ->
+            incr materialize_failed;
+            None
+        | Eillegal _ ->
+            incr illegal;
+            None
+        | Elegal st ->
+            let key = Mat.to_int_lists st.s_matrix in
+            if Hashtbl.mem seen key then begin
+              incr duplicate;
+              None
+            end
+            else begin
+              Hashtbl.add seen key ();
+              incr scored;
+              all_legal := st :: !all_legal;
+              Some st
+            end)
+      evals
+  in
+  let materialize recipe = Tf.materialize ctx recipe in
+  (* Generation 0: the identity, then the completion-derived seeds.
+     Completion itself fans out over the Pool, so seeds materialize on
+     the calling domain. *)
+  let identity_recipe = { Tf.steps = []; partial = []; edits = [] } in
+  let seed_recipes =
+    Inl.Completion.seed_rows ctx.Inl.layout
+    |> List.map (fun row ->
+           {
+             Tf.steps = [];
+             partial = [ Array.to_list (Vec.to_int_array row) ];
+             edits = [];
+           })
+  in
+  let gen0 =
+    collect
+      (List.map
+         (fun (recipe, extendable) -> evaluate ctx lcache ~extendable recipe ~materialize)
+         ((identity_recipe, true) :: List.map (fun r -> (r, false)) seed_recipes))
+  in
+  let beam = ref (List.to_seq (List.sort compare_static gen0) |> Seq.take config.beam |> List.of_seq) in
+  (* Move generations: expand every extendable beam state by one step,
+     evaluate the whole generation over the Pool in input order. *)
+  (try
+     for gen = 1 to config.depth do
+       Watchdog.poll ();
+       let rng = Rng.case ~seed:config.seed ~index:gen in
+       let expansions =
+         List.concat_map
+           (fun st ->
+             if not st.s_extendable then []
+             else
+               let moves =
+                 Moves.enumerate st.s_structure.Inl.Blockstruct.new_program
+               in
+               let moves =
+                 if List.length moves <= config.max_moves then moves
+                 else Rng.shuffle rng moves |> List.filteri (fun i _ -> i < config.max_moves)
+               in
+               List.map
+                 (fun mv -> { Tf.steps = st.s_recipe.Tf.steps @ [ mv ]; partial = []; edits = [] })
+                 moves)
+           !beam
+       in
+       if expansions = [] then raise Exit;
+       let evals =
+         Pool.map
+           (fun recipe -> evaluate ctx lcache ~extendable:true recipe ~materialize)
+           expansions
+       in
+       let fresh = collect evals in
+       (* the next beam draws from everything alive, so a strong seed or
+          parent survives a generation of weak children *)
+       let pool = List.sort_uniq compare_static (fresh @ !beam) in
+       beam := List.to_seq pool |> Seq.take config.beam |> List.of_seq
+     done
+   with Exit -> ());
+  (* ---- finalists: static ranking, then the trace tier ---- *)
+  let ranked_static = List.sort compare_static !all_legal in
+  let finalists =
+    List.to_seq ranked_static |> Seq.take (max 1 config.finalists) |> List.of_seq
+  in
+  let params = List.map (fun p -> (p, config.size)) ctx.Inl.program.Ast.params in
+  let arrays = arrays_of config ctx.Inl.program ~params in
+  (* Code generation touches the shared Omega core, so finalists generate
+     on the calling domain (the solver cache keeps repeats cheap);
+     simulation is pure and fans out. *)
+  let programs =
+    List.map
+      (fun st ->
+        Watchdog.poll ();
+        match
+          Stats.timed "codegen" (fun () ->
+              Inl.Simplify.simplify
+                (Inl.Codegen.generate st.s_structure ~unsatisfied:st.s_unsatisfied))
+        with
+        | prog -> Some prog
+        | exception Inl.Codegen.Codegen_error msg ->
+            warn "S901" "codegen failed for candidate '%s': %s; degraded to the static tier"
+              (recipe_line st.s_recipe) msg;
+            None
+        | exception Omega.Blowup msg ->
+            warn "S901"
+              "resource budget exhausted generating candidate '%s': %s; degraded to the static \
+               tier"
+              (recipe_line st.s_recipe) msg;
+            None)
+      finalists
+  in
+  let sims =
+    Stats.timed "simulate" (fun () ->
+        Pool.map
+          (function
+            | None -> None
+            | Some prog -> simulate config ~arrays ~params prog)
+          (Some ctx.Inl.program :: programs))
+  in
+  let source_sim, finalist_sims =
+    match sims with s :: rest -> (s, rest) | [] -> (None, [])
+  in
+  let scored_entries =
+    List.map2
+      (fun st (prog, sim) ->
+        (match (prog, sim) with
+        | Some _, None ->
+            warn "S903" "simulation skipped for candidate '%s' (out-of-range access or step limit)"
+              (recipe_line st.s_recipe)
+        | _ -> ());
+        if sim <> None then incr simulated;
+        {
+          rank = 0;
+          recipe = st.s_recipe;
+          static_score = st.s_score;
+          misses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.misses) sim;
+          accesses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.accesses) sim;
+          program = prog;
+        })
+      finalists
+      (List.combine programs finalist_sims)
+  in
+  (* Final order: simulated candidates by misses, then the rest by the
+     static tier; every tie breaks on the recipe text. *)
+  let key (e : entry) =
+    match e.misses with
+    | Some m -> (0, m, e.static_score, Tf.to_string e.recipe)
+    | None -> (1, 0, e.static_score, Tf.to_string e.recipe)
+  in
+  let entries =
+    List.sort (fun a b -> compare (key a) (key b)) scored_entries
+    |> List.mapi (fun i e -> { e with rank = i + 1 })
+  in
+  (* ---- the Inl_verify gate: the winner is the best-ranked finalist
+     whose generated code passes translation validation ---- *)
+  let winner =
+    List.find_opt
+      (fun e ->
+        match e.program with
+        | None -> false
+        | Some prog ->
+            Watchdog.poll ();
+            let report = Verify.run ~against:ctx.Inl.program prog in
+            let vds = Verify.diags report in
+            if Diag.has_errors vds then begin
+              warn "S902" "candidate '%s' failed translation validation: %s"
+                (recipe_line e.recipe)
+                (Diag.list_to_string (List.filter (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) vds));
+              false
+            end
+            else begin
+              (* keep degradation warnings from the winner's validation *)
+              diags := List.rev_append (List.filter (fun (d : Diag.t) -> d.Diag.severity = Diag.Warning) vds) !diags;
+              true
+            end)
+      entries
+  in
+  if winner = None then
+    diags :=
+      Diag.error ~code:"S801" ~phase:Diag.Search
+        "search produced no verified winner (no legal candidate survived code generation and \
+         translation validation)"
+      :: !diags;
+  let funnel =
+    {
+      generated = !generated;
+      materialize_failed = !materialize_failed;
+      duplicate = !duplicate;
+      illegal = !illegal;
+      scored = !scored;
+      simulated = !simulated;
+    }
+  in
+  Stats.count "search.generated" funnel.generated;
+  Stats.count "search.materialize-failed" funnel.materialize_failed;
+  Stats.count "search.duplicate" funnel.duplicate;
+  Stats.count "search.pruned-illegal" funnel.illegal;
+  Stats.count "search.scored-static" funnel.scored;
+  Stats.count "search.simulated" funnel.simulated;
+  {
+    entries;
+    winner;
+    source_misses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.misses) source_sim;
+    source_accesses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.accesses) source_sim;
+    diags = List.rev !diags;
+    funnel;
+  }

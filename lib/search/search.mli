@@ -1,0 +1,93 @@
+(** Legality-guided transformation autotuning (the closing of the
+    paper's loop: Section 1 motivates loop orders by locality, Section 6
+    derives them — this module searches for them automatically).
+
+    A deterministic seeded beam search over the matrix-encoded
+    transformation space.  States are {!Inl_fuzz.Tf} recipes — replayable
+    by construction — materialized against the analyzed program;
+    generation 0 holds the identity and the completion-derived seeds
+    (one per signed loop column, via {!Inl.Completion.seed_rows}), and
+    each later generation extends every beam survivor by one bounded
+    move from {!Moves.enumerate}.  Candidates are pruned by the exact
+    legality test (Definition 6) through a shared
+    {!Inl.Legality.cache}, so across the thousands of candidate matrices
+    — which differ in few rows — most per-dependence verdicts are table
+    lookups; an illegal candidate is dropped and never extended, cutting
+    its whole subtree.
+
+    Survivors are ranked by the static tier ({!Cost.static_score});
+    the top [finalists] are code-generated and scored by the
+    {!Inl_cachesim} trace tier at a configurable problem size.  The
+    winner is gated through {!Inl_verify} translation validation before
+    being reported.
+
+    Determinism: per-generation candidate evaluation fans out over
+    {!Inl_parallel.Pool} with input-order collection, ranking ties break
+    on the recipe text, code generation runs on the calling domain, and
+    no wall-clock feeds any decision — the outcome is byte-identical
+    across [--jobs] values for a fixed seed.  The search is
+    budget/watchdog-aware: {!Inl_diag.Watchdog.poll} runs between
+    generations and finalists, and a {!Inl_presburger.Omega.Blowup}
+    during a finalist's code generation degrades that candidate to its
+    static-tier score (warning [S901]) instead of aborting. *)
+
+module Tf = Inl_fuzz.Tf
+module Diag = Inl_diag.Diag
+module Cachesim = Inl_cachesim.Cachesim
+module Ast = Inl_ir.Ast
+
+type config = {
+  beam : int;  (** beam width (default 8) *)
+  depth : int;  (** move generations after the seeds (default 3) *)
+  finalists : int;  (** candidates promoted to the trace tier (default 6) *)
+  size : int;  (** problem size: every parameter is bound to this for simulation (default 48) *)
+  seed : int;
+      (** deterministic subsampling seed, used only when a state's move
+          list exceeds [max_moves] *)
+  max_moves : int;  (** per-state move cap (default 64) *)
+  cache : Cachesim.config;  (** trace-tier cache (default 8 KiB, 2-way, 64B lines) *)
+  sim_max_steps : int;  (** interpreter step bound per simulation (default 4_000_000) *)
+}
+
+val default_config : config
+
+type entry = {
+  rank : int;  (** 1-based, in final ranking order *)
+  recipe : Tf.t;
+  static_score : float;
+  misses : int option;  (** trace tier; [None] when not simulated or degraded *)
+  accesses : int option;
+  program : Ast.program option;  (** generated code; [None] when codegen degraded *)
+}
+
+type funnel = {
+  generated : int;  (** candidate recipes materialization was attempted for *)
+  materialize_failed : int;
+  duplicate : int;  (** distinct recipes reaching an already-seen matrix *)
+  illegal : int;  (** pruned by the legality test *)
+  scored : int;  (** legal, statically scored *)
+  simulated : int;  (** finalists scored by the trace tier *)
+}
+
+type outcome = {
+  entries : entry list;  (** the finalists in final ranking order *)
+  winner : entry option;  (** the first finalist that passed the {!Inl_verify} gate *)
+  source_misses : int option;  (** trace-tier score of the untransformed program *)
+  source_accesses : int option;
+  diags : Diag.t list;
+      (** warnings: [S901] codegen degraded, [S902] a finalist failed
+          translation validation, [S903] simulation skipped; plus the
+          winner's verification warnings.  Errors: [S801] no legal
+          candidate survived. *)
+  funnel : funnel;
+}
+
+val optimize : ?config:config -> Inl.context -> outcome
+(** Never raises on candidate-level failure; every degradation is a
+    typed diagnostic in [diags].  Also feeds the funnel counters into
+    {!Inl_diag.Stats} ([search.*]) for [--stats]. *)
+
+val recipe_line : Tf.t -> string
+(** One-line human rendering of a recipe, e.g.
+    ["interchange J,I2; reverse K"] or ["complete row=[0,0,0,1,0,0,0]"];
+    ["identity"] for the empty recipe. *)

@@ -1,0 +1,96 @@
+The autotuner, end to end.  Write the paper's kji Cholesky (the
+column-oriented variant with the worst cache behavior of the six
+classical orders):
+
+  $ cat > chol.loop <<'EOF'
+  > params N
+  > do K = 1..N
+  >   S1: A(K,K) = sqrt(A(K,K))
+  >   do I = K+1..N
+  >     S2: A(I,K) = A(I,K) / A(K,K)
+  >   enddo
+  >   do J = K+1..N
+  >     do I2 = J..N
+  >       S3: A(I2,J) = A(I2,J) - A(I2,K) * A(J,K)
+  >     enddo
+  >   enddo
+  > enddo
+  > EOF
+
+A tiny pinned search: fixed seed, small beam, small trace size.  The
+completion seed that hoists J outermost (a left-looking schedule) wins;
+at this size the trace tier ties on cold misses and the static tier
+breaks the tie:
+
+  $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 -o smoke
+  search: generated=173 materialize-failed=6 duplicate=25 pruned-illegal=80 scored=62 simulated=3
+  source: accesses=3112 misses=30 miss-rate=0.96%
+  rank      static    misses   miss%  recipe
+     1    1824.000        30   0.96%  complete row=[0,0,0,0,1,0,0]
+     2    5664.000        30   0.96%  interchange J,I2
+     3    5664.000        30   0.96%  interchange J,I2; align S2,I,-1
+  
+  winner: complete row=[0,0,0,0,1,0,0]
+  wrote smoke.loop and smoke.tf
+  
+  params N
+  do t1 = 1..N
+    do t3 = t1..N
+      do t4 = 1..t1 - 1
+        S3: A(t3,t1) = A(t3,t1) - A(t3,t4) * A(t1,t4)
+      enddo
+    enddo
+    S1: A(t1,t1) = sqrt(A(t1,t1))
+    do t2 = t1..t1
+      do u1 = t1 + 1..N
+        S2: A(u1,t1) = A(u1,t1) / A(t1,t1)
+      enddo
+    enddo
+  enddo
+
+
+
+The winning recipe is an ordinary Tf v1 file:
+
+  $ cat smoke.tf
+  tf v1
+  row 0,0,0,0,1,0,0
+
+The same search is byte-identical across worker counts (the acceptance
+drill for determinism):
+
+  $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --jobs 1 -o j1 > out1
+  $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --jobs 8 -o j8 > out8
+  $ grep -v '^wrote ' out1 > out1.c && grep -v '^wrote ' out8 > out8.c
+  $ cmp out1.c out8.c && cmp j1.loop j8.loop && cmp j1.tf j8.tf && echo identical
+  identical
+
+Replaying the emitted recipe through the normal pipeline reproduces the
+winner exactly — one replay path for search winners and fuzz quarantine
+pairs alike:
+
+  $ inltool apply chol.loop --recipe smoke.tf | tail -n +10 > replayed.loop
+  $ cmp replayed.loop smoke.loop && echo identical
+  identical
+
+Recipe errors are typed diagnostics, not backtraces:
+
+  $ printf 'tf v9\nbogus\n' > bad.tf
+  $ inltool apply chol.loop --recipe bad.tf
+  error[D705] driver: malformed recipe bad.tf: unrecognized transformation line "tf v9"
+  [1]
+
+  $ printf 'tf v1\nstep interchange ZZ,QQ\n' > bad2.tf
+  $ inltool apply chol.loop --recipe bad2.tf
+  error[D705] driver: recipe bad2.tf does not materialize against this program: error[T301] legality: step 'interchange ZZ<->QQ' failed against the current program shape
+  [1]
+
+--stats exposes the search funnel as counters:
+
+  $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --stats -o st 2>&1 >/dev/null | grep counter
+  counter search.duplicate               25
+  counter search.generated              173
+  counter search.materialize-failed        6
+  counter search.pruned-illegal          80
+  counter search.scored-static           62
+  counter search.simulated                3

@@ -1,0 +1,199 @@
+(* Unit and property tests for the transformation autotuner: the move
+   enumerator's contract, the static cost tier, end-to-end search on the
+   paper's Cholesky kernel, byte-level determinism across worker counts,
+   and a QCheck property over fuzz-generated programs — every emitted
+   winner must be legal, pass translation validation, and be
+   interpreter-equivalent to its source. *)
+
+module Search = Inl_search.Search
+module Moves = Inl_search.Moves
+module Cost = Inl_search.Cost
+module Tf = Inl_fuzz.Tf
+module Gen = Inl_fuzz.Gen
+module Px = Inl_kernels.Paper_examples
+module Interp = Inl_interp.Interp
+module Verify = Inl_verify.Verify
+module Diag = Inl_diag.Diag
+module Pool = Inl_parallel.Pool
+module Ast = Inl_ir.Ast
+module Mat = Inl_linalg.Mat
+module Layout = Inl_instance.Layout
+
+let parse = Inl_ir.Parser.parse_exn
+
+(* Small enough that a test-suite full of searches stays fast; the
+   Cholesky searches below still recover the known-best order. *)
+let tiny =
+  {
+    Search.default_config with
+    Search.beam = 4;
+    depth = 2;
+    finalists = 3;
+    size = 8;
+    max_moves = 24;
+    sim_max_steps = 400_000;
+  }
+
+(* ---- move enumeration ---- *)
+
+let known_kinds = [ "interchange"; "reverse"; "skew"; "align"; "reorder" ]
+
+let test_moves_contract () =
+  let prog = parse Px.cholesky_kji in
+  let moves = Moves.enumerate prog in
+  Alcotest.(check bool) "non-empty" true (moves <> []);
+  List.iter
+    (fun (kind, spec) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kind %s known" kind)
+        true (List.mem kind known_kinds);
+      (* every enumerated move must either materialize or fail with a
+         typed error — never an exception *)
+      let ctx = Inl.analyze prog in
+      match Tf.materialize ctx { Tf.steps = [ (kind, spec) ]; partial = []; edits = [] } with
+      | Ok _ | Error _ -> ())
+    moves;
+  Alcotest.(check (list (pair string string)))
+    "deterministic" moves
+    (Moves.enumerate (parse Px.cholesky_kji))
+
+let test_moves_cover_depths () =
+  (* kji Cholesky has one loop pair per imperfect branch: interchanges
+     and skews must appear for nested pairs, reversals for every loop *)
+  let moves = Moves.enumerate (parse Px.cholesky_kji) in
+  let kinds = List.sort_uniq compare (List.map fst moves) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Printf.sprintf "has %s" k) true (List.mem k kinds))
+    [ "interchange"; "reverse"; "skew"; "align" ]
+
+(* ---- static cost tier ---- *)
+
+let structure_of ctx m =
+  match Inl.check ctx m with
+  | Inl.Legality.Legal { structure; _ } -> structure
+  | Inl.Legality.Illegal r -> Alcotest.failf "expected legal: %s" r
+
+let test_static_score_orders_variants () =
+  (* the static tier must at least separate the classical orders: jik
+     (dot-product inner loops, unit-stride last subscripts) scores
+     strictly better than kji (column-oriented, stride-N inner axis) *)
+  let score src =
+    let ctx = Inl.analyze (parse src) in
+    let n = Layout.size ctx.Inl.layout in
+    Cost.static_score ctx (structure_of ctx (Mat.identity n))
+  in
+  let kji = score Px.cholesky_kji and jik = score Px.cholesky_jik in
+  Alcotest.(check bool)
+    (Printf.sprintf "jik %.1f < kji %.1f" jik kji)
+    true (jik < kji);
+  Alcotest.(check bool) "scores positive" true (jik > 0.0 && kji > 0.0)
+
+(* ---- end-to-end on the paper kernel ---- *)
+
+let test_optimize_cholesky () =
+  let ctx = Inl.analyze (parse Px.cholesky_kji) in
+  let o = Search.optimize ~config:{ tiny with Search.size = 16 } ctx in
+  Alcotest.(check bool) "no errors" false (Diag.has_errors o.Search.diags);
+  let w = match o.Search.winner with Some w -> w | None -> Alcotest.fail "no winner" in
+  (match (w.Search.misses, o.Search.source_misses) with
+  | Some wm, Some sm ->
+      Alcotest.(check bool) (Printf.sprintf "winner %d <= source %d" wm sm) true (wm <= sm)
+  | _ -> Alcotest.fail "trace tier did not run");
+  Alcotest.(check bool) "funnel counted work" true
+    (o.Search.funnel.Search.generated > 0
+    && o.Search.funnel.Search.scored > 0
+    && o.Search.funnel.Search.simulated > 0);
+  (* the winner is a real program, equivalent to the source *)
+  let wp = match w.Search.program with Some p -> p | None -> Alcotest.fail "winner has no code" in
+  List.iter
+    (fun n ->
+      match Interp.equivalent ~max_steps:400_000 ctx.Inl.program wp ~params:[ ("N", n) ] with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "not equivalent at N=%d: %s" n msg)
+    [ 4; 7 ]
+
+let render (o : Search.outcome) : string =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (e : Search.entry) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %s %.6f %s %s\n%s" e.Search.rank
+           (Tf.to_string e.Search.recipe)
+           e.Search.static_score
+           (match e.Search.misses with Some m -> string_of_int m | None -> "-")
+           (match e.Search.accesses with Some a -> string_of_int a | None -> "-")
+           (match e.Search.program with Some p -> Inl.Pp.program_to_string p | None -> "")))
+    o.Search.entries;
+  Buffer.add_string b
+    (match o.Search.winner with
+    | Some w -> "winner " ^ Tf.to_string w.Search.recipe
+    | None -> "no winner");
+  Buffer.contents b
+
+let test_optimize_deterministic_across_jobs () =
+  let run jobs =
+    Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Pool.set_jobs 1)
+      (fun () -> render (Search.optimize ~config:tiny (Inl.analyze (parse Px.cholesky_kji))))
+  in
+  let r1 = run 1 in
+  Alcotest.(check string) "jobs=1 repeatable" r1 (run 1);
+  Alcotest.(check string) "jobs=4 identical to jobs=1" r1 (run 4)
+
+(* ---- property: every winner is legal, validated, and equivalent ---- *)
+
+let winner_prop (seed, index) =
+  let prog, _ = Gen.case ~seed ~index in
+  let ctx = Inl.analyze prog in
+  match (Search.optimize ~config:{ tiny with Search.depth = 1; size = 6 } ctx).Search.winner with
+  | None -> true (* nothing emitted: nothing to promise *)
+  | Some w -> (
+      (* legal under the exact test *)
+      (match Tf.materialize ctx w.Search.recipe with
+      | Error msg -> QCheck2.Test.fail_reportf "winner recipe does not materialize: %s" msg
+      | Ok m -> (
+          match Inl.check ctx m with
+          | Inl.Legality.Legal _ -> ()
+          | Inl.Legality.Illegal r -> QCheck2.Test.fail_reportf "winner illegal: %s" r));
+      match w.Search.program with
+      | None -> QCheck2.Test.fail_reportf "winner without code"
+      | Some wp ->
+          (* passes translation validation *)
+          let report = Verify.run ~against:ctx.Inl.program wp in
+          if Diag.has_errors (Verify.diags report) then
+            QCheck2.Test.fail_reportf "winner fails verification";
+          (* interpreter-equivalent at two small sizes *)
+          List.for_all
+            (fun n ->
+              let params = List.map (fun p -> (p, n)) ctx.Inl.program.Ast.params in
+              match Interp.equivalent ~max_steps:400_000 ctx.Inl.program wp ~params with
+              | Ok () -> true
+              | Error msg -> QCheck2.Test.fail_reportf "not equivalent at %d: %s" n msg)
+            [ 2; 4 ])
+
+let winner_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"search winners are legal, validated, equivalent" ~count:30
+       QCheck2.Gen.(pair (int_bound 4) (int_bound 23))
+       winner_prop)
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "moves",
+        [
+          Alcotest.test_case "enumeration contract" `Quick test_moves_contract;
+          Alcotest.test_case "covers the move kinds" `Quick test_moves_cover_depths;
+        ] );
+      ( "cost",
+        [ Alcotest.test_case "static tier separates variants" `Quick test_static_score_orders_variants ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "cholesky end-to-end" `Quick test_optimize_cholesky;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_optimize_deterministic_across_jobs;
+        ] );
+      ("property", [ winner_property ]);
+    ]
