@@ -26,6 +26,15 @@ fuzz-smoke:
 	rm -rf corpus
 	./_build/default/bin/inltool.exe fuzz --seed 42 --cases 50 --timeout-ms 5000 --corpus corpus
 
+# Serve-daemon acceptance drill (the same one the dune runtest rule
+# runs): a 56-request mixed batch including malformed JSON, injected
+# solver blowups, a hung request under a deadline and an oversized
+# line; then a SIGKILL mid-session and a restart that must come up warm
+# from the killed daemon's crash-safe snapshot.
+serve-smoke:
+	dune build bin/inltool.exe
+	sh test/serve_smoke.sh ./_build/default/bin/inltool.exe
+
 # Autotuner smoke run (the same tiny fixed-seed search the dune runtest
 # rule and the test/search.t cram test pin down): exits nonzero if the
 # winner recipe drifts or jobs=1 and jobs=2 outputs differ by a byte.

@@ -740,6 +740,110 @@ let fuzz_cmd =
           exits 1 when the campaign produced findings.")
     Term.(const run $ setup_term $ seed $ cases $ timeout_ms $ corpus $ no_shrink $ replay)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let module Server = Inl_serve.Server in
+  let run common socket connect state queue_cap timeout_ms max_bytes checkpoint_every =
+    match common with
+    | Error ds ->
+        print_diags ds;
+        1
+    | Ok stats -> (
+        match connect with
+        | Some path -> finish stats (Server.client ~socket:path)
+        | None ->
+            let config =
+              {
+                Server.socket;
+                state_dir = state;
+                queue_cap;
+                request_timeout_ms = timeout_ms;
+                max_request_bytes = max_bytes;
+                checkpoint_every;
+              }
+            in
+            finish stats (Server.run config))
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(i,PATH) instead of serving stdin/stdout; \
+             multiple clients may connect concurrently.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:
+            "Client mode: forward request lines from stdin to the daemon at $(i,PATH) and \
+             print its response lines.  The dial is retried briefly, so a script may start \
+             daemon and client together.")
+  in
+  let state =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "State directory: the projection-cache snapshot ($(b,cache.snap)) and the fuzz \
+             corpus live here.  The snapshot is checkpointed crash-safely (write-temp + \
+             fsync + rename, checksummed header) and restored on startup, so a restarted \
+             daemon starts warm; a corrupt snapshot is a warning and a cold start.")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue capacity.  Arrivals beyond it are rejected immediately \
+             with a typed $(b,R704) response instead of being buffered without bound.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.request_timeout_ms
+      & info [ "timeout-ms" ] ~docv:"T"
+          ~doc:
+            "Default per-request deadline in milliseconds (0 disables; a request's own \
+             $(b,timeout_ms) field overrides).  A request that exceeds it is retried once \
+             under a sharply reduced budget, then answered with $(b,R706).")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Longest accepted request line; longer lines are rejected with $(b,R705).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.checkpoint_every
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot the projection cache every $(i,N) requests (0: only on drain).  A \
+             final checkpoint always runs on clean drain and on SIGTERM.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running optimization service: accept $(b,analyze), $(b,verify), \
+          $(b,optimize), $(b,fuzz), $(b,stats), $(b,ping) and $(b,shutdown) requests as one \
+          JSON object per line on stdin (responses on stdout) or on a Unix socket \
+          ($(b,--socket)).  Every request runs under its own budget, deadline and \
+          fault-injection scope; failures degrade that one request to a typed diagnostic — \
+          the daemon keeps serving.  Exits 0 on a clean drain, 1 when some request was \
+          answered with an error or produced fuzz findings, 2 on an internal fault.")
+    Term.(
+      const run $ setup_term $ socket $ connect $ state $ queue_cap $ timeout_ms $ max_bytes
+      $ checkpoint_every)
+
 let () =
   let doc = "transformations for imperfectly nested loops (Kodukula-Pingali, SC'96)" in
   let exits =
@@ -783,4 +887,5 @@ let () =
             run_cmd;
             optimize_cmd;
             fuzz_cmd;
+            serve_cmd;
           ]))

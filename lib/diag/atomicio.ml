@@ -1,0 +1,49 @@
+(* Crash-safe file replacement: write a sibling temp file, fsync it,
+   rename over the target, then fsync the directory so the rename itself
+   is durable.  A reader therefore sees either the old contents or the
+   new contents in full — never a torn write — even across a SIGKILL or
+   power loss between any two steps.  Both the fuzz corpus cursor and
+   the serve snapshots go through this one primitive so the discipline
+   cannot drift between them. *)
+
+let fsync_dir dir =
+  (* Directory fsync is what makes the rename durable on Linux; file
+     systems that refuse O_RDONLY-fsync on directories (or platforms
+     without it) just lose the durability of the *rename*, not
+     atomicity, so failures here are ignored. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  match Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (tmp ^ ": " ^ Unix.error_message e)
+  | fd -> (
+      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+      match
+        let n = String.length contents in
+        let written = ref 0 in
+        while !written < n do
+          written := !written + Unix.write_substring fd contents !written (n - !written)
+        done;
+        Unix.fsync fd
+      with
+      | () -> (
+          Unix.close fd;
+          match Sys.rename tmp path with
+          | () ->
+              fsync_dir (Filename.dirname path);
+              Ok ()
+          | exception Sys_error msg ->
+              cleanup ();
+              Error msg)
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          cleanup ();
+          Error (tmp ^ ": " ^ Unix.error_message e))
+
+let write_file_atomic_exn path contents =
+  match write_file_atomic path contents with Ok () -> () | Error msg -> raise (Sys_error msg)

@@ -1,0 +1,16 @@
+(** Crash-safe atomic file replacement.
+
+    [write_file_atomic] writes a sibling temp file, [fsync]s it, renames
+    it over the target, and [fsync]s the containing directory — so the
+    visible file always holds either the previous contents or the new
+    contents in full, and the replacement survives a SIGKILL or power
+    loss at any point.  The fuzz corpus cursor and the serve snapshots
+    share this one primitive. *)
+
+val write_file_atomic : string -> string -> (unit, string) result
+(** [write_file_atomic path contents]: on [Error msg] the target file is
+    untouched (the temp file is cleaned up best-effort). *)
+
+val write_file_atomic_exn : string -> string -> unit
+(** Same, raising [Sys_error] — for callers whose signature predates the
+    result type. *)

@@ -11,6 +11,7 @@ type phase =
   | Interp
   | Verify
   | Search
+  | Serve
   | Driver
 
 type span = { line : int }
@@ -44,6 +45,7 @@ let phase_to_string = function
   | Interp -> "interp"
   | Verify -> "verify"
   | Search -> "search"
+  | Serve -> "serve"
   | Driver -> "driver"
 
 let to_string d =
@@ -63,3 +65,17 @@ let exit_code ds = if has_errors ds then 1 else if has_warnings ds then 2 else 0
 let of_exn ~phase ~code = function
   | Failure msg | Invalid_argument msg -> error ~code ~phase msg
   | e -> error ~code ~phase (Printexc.to_string e)
+
+(* The wire encoding used by the serve protocol: a flat field list any
+   serializer can map structurally.  The field set is part of the wire
+   contract — extend it, never repurpose a key. *)
+let to_fields d =
+  let base =
+    [
+      ("code", d.code);
+      ("severity", severity_to_string d.severity);
+      ("phase", phase_to_string d.phase);
+      ("message", d.message);
+    ]
+  in
+  match d.span with None -> base | Some { line } -> base @ [ ("line", string_of_int line) ]

@@ -21,6 +21,7 @@ type phase =
   | Interp
   | Verify
   | Search
+  | Serve
   | Driver
 
 type span = { line : int }
@@ -67,3 +68,9 @@ val exit_code : t list -> int
 val of_exn : phase:phase -> code:string -> exn -> t
 (** Wraps the payload of [Failure]/[Invalid_argument] (or
     [Printexc.to_string] of anything else) as an error diagnostic. *)
+
+val to_fields : t -> (string * string) list
+(** Stable wire encoding: [("code", _); ("severity", _); ("phase", _);
+    ("message", _)] plus [("line", _)] when a span is present.  The serve
+    protocol maps these fields structurally into its JSON responses, so
+    keys are append-only. *)

@@ -41,3 +41,39 @@ let reset () =
   Mutex.protect lock (fun () ->
       Hashtbl.reset phases_tbl;
       Hashtbl.reset counters_tbl)
+
+(* Per-request scoping for the serve daemon: totals are cumulative for
+   the life of the process, so a request's own consumption is the delta
+   between two snapshots.  Snapshots are plain assoc lists taken under
+   the same lock as the accumulators. *)
+type snapshot = {
+  snap_phases : (string * float * int) list;
+  snap_counters : (string * int) list;
+}
+
+let snapshot () = { snap_phases = phases (); snap_counters = counters () }
+
+let since s =
+  let now_p = phases () and now_c = counters () in
+  let phase_delta =
+    List.filter_map
+      (fun (name, wall, calls) ->
+        let w0, c0 =
+          match List.find_opt (fun (n, _, _) -> n = name) s.snap_phases with
+          | Some (_, w, c) -> (w, c)
+          | None -> (0.0, 0)
+        in
+        let dw = wall -. w0 and dc = calls - c0 in
+        if dc = 0 && dw = 0.0 then None else Some (name, dw, dc))
+      now_p
+  in
+  let counter_delta =
+    List.filter_map
+      (fun (name, n) ->
+        let n0 =
+          match List.assoc_opt name s.snap_counters with Some v -> v | None -> 0
+        in
+        if n = n0 then None else Some (name, n - n0))
+      now_c
+  in
+  (phase_delta, counter_delta)

@@ -23,3 +23,14 @@ val counters : unit -> (string * int) list
 
 val reset : unit -> unit
 (** Clear both the phase timings and the event counters. *)
+
+type snapshot
+(** A point-in-time copy of every phase timing and counter. *)
+
+val snapshot : unit -> snapshot
+
+val since : snapshot -> (string * float * int) list * (string * int) list
+(** [(phase deltas, counter deltas)] accumulated after the snapshot was
+    taken, zero entries omitted — how the serve daemon scopes the
+    process-cumulative statistics to one request without resetting them
+    under concurrent readers. *)

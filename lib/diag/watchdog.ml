@@ -10,9 +10,12 @@ let limit_ms = Atomic.make 0
 
 let active () = Atomic.get deadline < infinity
 
-let poll () =
+let expired () =
   let d = Atomic.get deadline in
-  if d < infinity && Unix.gettimeofday () > d then
+  d < infinity && Unix.gettimeofday () > d
+
+let poll () =
+  if expired () then
     raise (Timeout (Printf.sprintf "wall-clock limit exceeded (%d ms)" (Atomic.get limit_ms)))
 
 let with_timeout ~ms f =
@@ -35,9 +38,16 @@ let with_timeout ~ms f =
     | v ->
         restore ();
         Ok v
-    | exception Timeout _ ->
+    | exception (Timeout _ as e) ->
+        let bt = Printexc.get_raw_backtrace () in
         restore ();
-        Error (Unix.gettimeofday () -. start)
+        (* Attribute the timeout to the deadline that actually fired: a
+           Timeout observed while our own deadline still lies in the
+           future belongs to a tighter *outer* deadline and must keep
+           propagating — converting it to this level's [Error] would
+           swallow the outer watchdog and let its caller keep running. *)
+        if Unix.gettimeofday () >= mine then Error (Unix.gettimeofday () -. start)
+        else Printexc.raise_with_backtrace e bt
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         restore ();

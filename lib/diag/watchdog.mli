@@ -21,11 +21,21 @@ exception Timeout of string
 val with_timeout : ms:int -> (unit -> 'a) -> ('a, float) result
 (** [with_timeout ~ms f] runs [f] under a deadline [ms] milliseconds from
     now; [Error elapsed_seconds] when [f] (or a worker executing on its
-    behalf) raised {!Timeout}.  Any other outcome of [f] — value or
-    exception — passes through unchanged.  [ms <= 0] means no deadline. *)
+    behalf) raised {!Timeout} and this level's own deadline has passed.
+    A {!Timeout} raised while this level's deadline still lies in the
+    future belongs to a tighter outer deadline and is re-raised, so a
+    nested [with_timeout] can never swallow its caller's watchdog.  Any
+    other outcome of [f] — value or exception — passes through
+    unchanged.  [ms <= 0] means no deadline. *)
 
 val active : unit -> bool
 (** Is a deadline currently installed? *)
+
+val expired : unit -> bool
+(** Is a deadline installed {e and} already in the past?  The
+    non-raising form of {!poll}: {!Inl_parallel.Pool} consults it when
+    claiming batch tasks so a fan-out in flight when the deadline fires
+    cancels its remaining tasks instead of running them to completion. *)
 
 val poll : unit -> unit
 (** Cheap check called from solver inner loops (one atomic load and, when

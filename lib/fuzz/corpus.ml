@@ -23,12 +23,11 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-(* temp-then-rename in the same directory, so the visible file is never
-   half-written even if the campaign is killed mid-update *)
-let write_file_atomic path contents =
-  let tmp = path ^ ".tmp" in
-  write_file tmp contents;
-  Sys.rename tmp path
+(* temp + fsync + rename + directory fsync (Inl_diag.Atomicio — the same
+   discipline the serve snapshots use), so the visible file is never
+   half-written and the replacement is durable even if the campaign is
+   SIGKILLed mid-update *)
+let write_file_atomic path contents = Inl_diag.Atomicio.write_file_atomic_exn path contents
 
 let read_file path =
   let ic = open_in_bin path in

@@ -8,6 +8,8 @@
    depends on helpers participating: the caller drains the batch itself,
    so a helper that wakes late (or never) only costs parallelism. *)
 
+module Watchdog = Inl_diag.Watchdog
+
 let default_jobs = Atomic.make 1
 
 let set_jobs n = Atomic.set default_jobs (max 1 n)
@@ -116,6 +118,19 @@ let shutdown () =
    main domain. *)
 let () = at_exit shutdown
 
+(* Recovery for long-running processes (the serve daemon): after a
+   shutdown — explicit, or a cleanup path that ran early — clear the
+   flag so the next [map] can spawn fresh helpers again.  A no-op while
+   the pool is live; [shutdown] has already joined every old helper, so
+   there is nothing to leak. *)
+let revive () =
+  Mutex.lock pool.lock;
+  if pool.shutdown then begin
+    pool.shutdown <- false;
+    pool.helpers <- 0
+  end;
+  Mutex.unlock pool.lock
+
 (* Grow the helper set to [k]; never shrinks — an idle helper parked on
    the condition variable costs nothing measurable. *)
 let ensure_helpers k =
@@ -134,7 +149,17 @@ let run_tasks n_workers n f =
   let completed = Atomic.make 0 in
   let run i =
     (results.(i) <-
-       (try Some (Value (f i)) with e -> Some (Raised (e, Printexc.get_raw_backtrace ()))));
+       (* An expired watchdog cancels every not-yet-started task: the
+          poll raises Timeout before [f] runs, the slot records it like
+          any task failure, and the batch completes promptly instead of
+          running the remaining fan-out to completion against a deadline
+          that has already fired.  The caller then re-raises the
+          lowest-index exception — the typed Timeout — exactly as if the
+          task itself had polled. *)
+       (try
+          Watchdog.poll ();
+          Some (Value (f i))
+        with e -> Some (Raised (e, Printexc.get_raw_backtrace ()))));
     (* the finisher of the last task wakes the submitting caller; the
        broadcast is taken under the pool lock so the caller cannot miss
        it between its check and its wait *)

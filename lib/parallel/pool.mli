@@ -37,6 +37,12 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
 
+val revive : unit -> unit
+(** Undo a {!shutdown}: clear the retired flag so the next {!map} can
+    spawn fresh helper domains.  The serve daemon calls this after
+    recovering from a worker panic whose cleanup path shut the pool
+    down; while the pool is live it is a no-op. *)
+
 val shutdown : unit -> unit
 (** Retire every parked helper domain (idempotent — safe to call any
     number of times, from cleanup paths and the [at_exit] hook alike;

@@ -97,3 +97,34 @@ let stats t =
 let hit_rate s =
   let total = s.hits + s.misses in
   if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+(* Snapshot/restore for the serve daemon.  Entries are dumped as a
+   marshalled (key, value) array — every type reachable from a key or
+   value (systems, constraints, linexprs, bignum limbs, budgets) is
+   plain immutable data, so [Marshal] round-trips it exactly.  The old
+   generation is emitted first and the young one second: import re-adds
+   in order, so after a restore the young table holds what was young at
+   export time and recency survives the round trip approximately.
+   Robustness is the *caller's* problem by design: [import] never trusts
+   the payload (a truncated or doctored string fails inside Marshal or
+   the array check) and returns the count actually re-added. *)
+
+type dump_entry = Key.t * System.t list
+
+let export t : string =
+  let entries =
+    Mutex.protect t.lock (fun () ->
+        let take tbl = H.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+        Array.of_list (take t.old @ take t.young))
+  in
+  Marshal.to_string (entries : dump_entry array) []
+
+let import t payload =
+  match (Marshal.from_string payload 0 : dump_entry array) with
+  | exception _ -> Error "unreadable cache dump (truncated or from an incompatible build)"
+  | entries ->
+      Array.iter
+        (fun ((k : Key.t), v) ->
+          add t ~sys:k.Key.sys ~kept:k.Key.kept ~budget:k.Key.budget v)
+        entries;
+      Ok (Array.length entries)

@@ -38,3 +38,16 @@ val stats : t -> stats
 
 val hit_rate : stats -> float
 (** Hits over lookups; [0.0] when no lookups happened. *)
+
+val export : t -> string
+(** Serialize every resident entry (both generations) to an opaque
+    binary dump — pure data end to end, so the marshalled form
+    round-trips exactly.  Counters are not included: a restored cache
+    starts cold statistically but warm in content. *)
+
+val import : t -> string -> (int, string) result
+(** Re-add the entries of an {!export} dump, returning how many were
+    restored.  Never trusts the payload: a truncated, corrupted or
+    incompatible dump returns [Error] and leaves the cache unchanged
+    (callers wrap dumps in a checksummed container — {!Inl_serve}'s
+    snapshot format — so this is the second line of defense). *)

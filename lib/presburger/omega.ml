@@ -32,6 +32,8 @@ let set_cache_enabled b = Atomic.set cache_enabled_flag b
 let cache_enabled () = Atomic.get cache_enabled_flag
 let cache_stats () = Cache.stats shared_cache
 let clear_cache () = Cache.clear shared_cache
+let cache_snapshot () = Cache.export shared_cache
+let cache_restore payload = Cache.import shared_cache payload
 
 (* Cumulative entry-point counters for observability (--stats); distinct
    from the per-ctx budget counter. *)

@@ -80,6 +80,15 @@ val cache_enabled : unit -> bool
 val cache_stats : unit -> Cache.stats
 val clear_cache : unit -> unit
 
+val cache_snapshot : unit -> string
+(** {!Cache.export} of the process-wide projection cache — the payload
+    the serve daemon checkpoints so the BENCH_solver 3x warm-cache win
+    survives a restart. *)
+
+val cache_restore : string -> (int, string) result
+(** {!Cache.import} into the process-wide cache; [Ok n] is the number of
+    entries restored. *)
+
 val solver_calls : unit -> int * int
 (** Cumulative [(satisfiable, project)] entry-point call counts since
     start or {!reset_solver_calls} ([satisfiable] calls also count as

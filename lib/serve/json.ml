@@ -1,0 +1,301 @@
+(* A minimal JSON codec for the serve wire protocol.  The sealed build
+   environment has no yojson, and the protocol needs exactly this much:
+   parse one request object off a line of untrusted bytes without ever
+   raising, and print a response object deterministically.
+
+   Deliberate scope cuts, all safe for a line protocol: integers outside
+   the native-int range parse as floats; surrogate pairs in \u escapes
+   are combined when well-formed and replaced by U+FFFD when not;
+   nesting depth is capped so a crafted request cannot overflow the
+   parser's stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let max_depth = 128
+
+exception Parse_error of string
+
+(* ---- parsing ---- *)
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg st.pos))
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st ("bad literal (expected " ^ word ^ ")")
+
+let hex4 st =
+  if st.pos + 4 > String.length st.s then fail st "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let c = st.s.[st.pos + i] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail st "bad \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+let utf8_add buf cp =
+  (* encode one scalar value; callers never pass surrogates *)
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if st.pos >= String.length st.s then fail st "unterminated escape";
+        let e = st.s.[st.pos] in
+        st.pos <- st.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            let cp = hex4 st in
+            if cp >= 0xD800 && cp <= 0xDBFF then
+              (* high surrogate: combine with a following \uDC00-\uDFFF *)
+              if
+                st.pos + 1 < String.length st.s
+                && st.s.[st.pos] = '\\'
+                && st.s.[st.pos + 1] = 'u'
+              then begin
+                st.pos <- st.pos + 2;
+                let lo = hex4 st in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  utf8_add buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                else utf8_add buf 0xFFFD
+              end
+              else utf8_add buf 0xFFFD
+            else if cp >= 0xDC00 && cp <= 0xDFFF then utf8_add buf 0xFFFD
+            else utf8_add buf cp
+        | _ -> fail st "bad escape");
+        go ())
+    | c when Char.code c < 0x20 -> fail st "raw control character in string"
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = Some '-' then st.pos <- st.pos + 1;
+  let digits () =
+    let n0 = st.pos in
+    while st.pos < String.length st.s && st.s.[st.pos] >= '0' && st.s.[st.pos] <= '9' do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = n0 then fail st "bad number"
+  in
+  digits ();
+  if peek st = Some '.' then begin
+    is_float := true;
+    st.pos <- st.pos + 1;
+    digits ()
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      st.pos <- st.pos + 1;
+      (match peek st with Some ('+' | '-') -> st.pos <- st.pos + 1 | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.s start (st.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> Float (float_of_string text) (* out of native range *)
+
+let rec parse_value st depth =
+  if depth > max_depth then fail st "nesting too deep";
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws st;
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st (depth + 1) in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              Obj (List.rev ((key, v) :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value st (depth + 1) in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elements []
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match
+    let v = parse_value st 0 in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- printing ---- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | String s ->
+        Buffer.add_char buf '"';
+        escape_into buf s;
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape_into buf k;
+            Buffer.add_string buf "\":";
+            go x)
+          kvs;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* ---- accessors ---- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int n -> Some n | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let string_field key v = Option.bind (member key v) to_string_opt
+let int_field key v = Option.bind (member key v) to_int_opt
+let bool_field key v = Option.bind (member key v) to_bool_opt

@@ -1,0 +1,39 @@
+(** Minimal JSON codec for the serve wire protocol (the sealed build has
+    no yojson).
+
+    Parsing never raises on untrusted input: every malformed byte
+    sequence comes back as [Error] with a byte offset, nesting depth is
+    capped, and integers outside the native range fall back to floats.
+    Printing is deterministic (insertion order, fixed float format), so
+    responses are stable enough to pin in cram tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict: leading/trailing whitespace is allowed, trailing garbage is
+    not. *)
+
+val to_string : t -> string
+(** Single-line rendering with all control characters escaped — a
+    response is always exactly one line of the wire. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on non-objects and missing keys). *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
+
+val string_field : string -> t -> string option
+(** [string_field k v] = [member k v] narrowed to a string; likewise
+    below. *)
+
+val int_field : string -> t -> int option
+val bool_field : string -> t -> bool option

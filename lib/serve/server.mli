@@ -1,0 +1,55 @@
+(** The [inltool serve] daemon: a long-running optimization service over
+    a JSON-lines protocol (one request object per line in, one response
+    object per line out), on stdin/stdout or a Unix domain socket.
+
+    The failure-containment contract (DESIGN.md §12): a request can
+    time out, blow the solver budget, carry injected faults, or panic a
+    worker — the daemon answers it with a typed diagnostic (after one
+    retry at reduced budget where that makes sense) and keeps serving.
+    Queue overload and oversized lines are rejected immediately with
+    typed diagnostics rather than buffered without bound.  The
+    projection cache is checkpointed to a checksummed crash-safe
+    snapshot and restored on startup, so a restarted daemon starts
+    warm. *)
+
+type config = {
+  socket : string option;  (** listen on a Unix socket instead of stdin/stdout *)
+  state_dir : string option;  (** snapshots + fuzz corpus live here *)
+  queue_cap : int;  (** bounded FIFO capacity; arrivals beyond it are rejected *)
+  request_timeout_ms : int;  (** default per-request watchdog; 0 = none *)
+  max_request_bytes : int;  (** longest accepted request line *)
+  checkpoint_every : int;  (** requests between snapshots; 0 = only on drain *)
+}
+
+val default_config : config
+
+type t
+(** A running server's state: counters, method table, drain flag. *)
+
+val create : config -> (t, string) result
+(** Prepares the state directory and restores the cache snapshot (a
+    corrupt snapshot logs R709 and starts cold; only an unusable state
+    directory is an error). *)
+
+val handle : t -> string -> string
+(** [handle t line] maps one request line to one response line.  Never
+    raises and never touches the wire — the run loop and the unit tests
+    share it.  This is where the per-request isolation lives: budget,
+    deadline and fault scope installed around the handler and restored
+    after, the retry ladder, and panic recovery ({!Inl_parallel.Pool.revive}). *)
+
+val exit_code : t -> int
+(** 0 clean drain; 1 some request was answered with an error, rejected,
+    or produced fuzz findings; 2 internal fault (recovered panic, failed
+    checkpoint).  Internal dominates findings. *)
+
+val run : config -> int
+(** Serve until EOF (stdin mode), SIGTERM, or a [shutdown] request; then
+    drain the queue, checkpoint, and return the exit code.  Startup
+    failures (unusable state dir, unbindable socket) return 2. *)
+
+val client : socket:string -> int
+(** Forward stdin request lines to a serving socket and print the
+    response lines; retries the connect briefly so a test can start
+    daemon and client together.  Returns 0 once every request got a
+    response, 2 if the daemon never answered the dial. *)

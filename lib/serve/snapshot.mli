@@ -1,0 +1,22 @@
+(** Crash-safe, self-validating snapshot files.
+
+    Format: a header line [INLSNAP1 <kind> v<version> <bytes> <fnv64>]
+    followed by the opaque payload.  {!save} goes through
+    {!Inl_diag.Atomicio} (write temp, fsync, rename, fsync dir), so a
+    SIGKILL at any moment leaves either the previous snapshot or the new
+    one — never a torn file.  {!load} refuses anything whose magic,
+    kind, version, length or checksum does not check out; the daemon
+    maps that refusal to a cold start with a warning rather than
+    trusting a corrupt byte. *)
+
+val save : path:string -> kind:string -> version:int -> string -> (unit, string) result
+(** [kind] must not contain spaces (it is a header field).
+    @raise Invalid_argument on a kind with spaces — a programming error,
+    not an input error. *)
+
+val load : path:string -> kind:string -> version:int -> (string option, string) result
+(** [Ok None] when the file does not exist (a legitimate cold start);
+    [Error] names what failed to validate. *)
+
+val fnv64 : string -> int64
+(** The checksum used by the format (FNV-1a 64); exposed for tests. *)

@@ -228,3 +228,37 @@ all-zero counters:
   $ inltool deps chol.loop --stats 2>&1 >/dev/null | grep -c 'projection cache: disabled'
   0
   [1]
+
+The serve daemon's exit-code table differs deliberately from the
+one-shot commands (where 2 means degraded-but-succeeded): a long-running
+service reserves 2 for faults in the daemon itself.  0 is a clean drain
+— every request answered ok:
+
+  $ printf '%s\n' '{"id":1,"method":"ping"}' '{"id":2,"method":"shutdown"}' | inltool serve 2>/dev/null
+  {"id":1,"method":"ping","ok":true,"degraded":false,"result":{"pong":true},"diags":[]}
+  {"id":2,"method":"shutdown","ok":true,"degraded":false,"result":{"draining":true},"diags":[]}
+
+1 means findings: some well-formed session contained a request that was
+answered with an error (or rejected, or produced fuzz findings), but the
+daemon itself is healthy:
+
+  $ printf '%s\n' '{"id":1,"method":"nope"}' '{"id":2,"method":"shutdown"}' | inltool serve >/dev/null 2>&1
+  [1]
+
+2 means an internal fault, and it dominates findings: here a worker
+panic — recovered, answered as R707, the daemon kept serving — but the
+operator should look at the daemon, not the inputs:
+
+  $ printf '%s\n' '{"id":1,"method":"optimize","program":"params N\ndo I = 1..N\n  S1: A(I) = 0\nenddo\n","beam":-3}' '{"id":2,"method":"ping"}' '{"id":3,"method":"shutdown"}' | inltool serve > panic.out 2>/dev/null
+  [2]
+  $ grep -o '"ok":[a-z]*' panic.out
+  "ok":false
+  "ok":true
+  "ok":true
+
+Startup failures — an unusable state directory — are also internal:
+
+  $ touch not-a-dir
+  $ inltool serve --state not-a-dir < /dev/null
+  error[R700] serve: cannot start: state directory: not-a-dir: exists and is not a directory
+  [2]

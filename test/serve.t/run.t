@@ -1,0 +1,108 @@
+The serve daemon: one JSON request object per line on stdin, one JSON
+response object per line on stdout.  Every line below is deterministic
+(jobs=1, fixed budgets, no wall-clock values on the wire).
+
+A mixed session.  Bad inputs of every shape — malformed JSON, an
+unknown method, a missing field — come back as typed serve-phase
+diagnostics (R701/R702/R703) on the wire, and the daemon answers every
+subsequent request as if nothing happened:
+
+  $ cat > mixed.jsonl <<'EOF'
+  > {"id":1,"method":"ping"}
+  > {"id":2,"method":"analyze","program":"params N\ndo I = 1..N\n  S1: A(I) = A(I-1) + A(I)\nenddo\n"}
+  > this is not json
+  > {"id":4,"method":"frobnicate"}
+  > {"id":5,"method":"verify"}
+  > {"id":6,"method":"shutdown"}
+  > EOF
+  $ inltool serve < mixed.jsonl
+  {"id":1,"method":"ping","ok":true,"degraded":false,"result":{"pong":true},"diags":[]}
+  {"id":2,"method":"analyze","ok":true,"degraded":false,"result":{"statements":1,"dependences":1,"approximate":0,"matrix":["flow S1->S1 on A [1] (carried(1))"]},"diags":[]}
+  {"id":null,"method":"","ok":false,"degraded":false,"error":{"code":"R701","severity":"error","phase":"serve","message":"malformed JSON: bad literal (expected true) at byte 0"},"diags":[{"code":"R701","severity":"error","phase":"serve","message":"malformed JSON: bad literal (expected true) at byte 0"}]}
+  {"id":4,"method":"frobnicate","ok":false,"degraded":false,"error":{"code":"R702","severity":"error","phase":"serve","message":"unknown method frobnicate"},"diags":[{"code":"R702","severity":"error","phase":"serve","message":"unknown method frobnicate"}]}
+  {"id":5,"method":"verify","ok":false,"degraded":false,"error":{"code":"R703","severity":"error","phase":"serve","message":"invalid request: missing or non-string \"program\""},"diags":[{"code":"R703","severity":"error","phase":"serve","message":"invalid request: missing or non-string \"program\""}]}
+  {"id":6,"method":"shutdown","ok":true,"degraded":false,"result":{"draining":true},"diags":[]}
+  serve: drained after 6 requests (3 ok, 3 errors, 0 degraded)
+  [1]
+
+Fault drills, each scoped to its own request.  An injected hang under a
+request deadline exhausts the retry ladder and is answered as a typed
+R706; an injected solver blowup rides the library's degradation path
+and comes back approximate (degraded, A201 warnings); a worker panic
+(here: a nonsense search configuration) is recovered as R707.  After
+each drill the daemon answers an exact, unfaulted analyze of the very
+same program — the fault scope did not leak:
+
+  $ cat > drills.jsonl <<'EOF'
+  > {"id":1,"method":"analyze","program":"params N\ndo I = 1..N\n  S1: A(I) = A(I-1) + A(I)\nenddo\n","faults":"hang=0","timeout_ms":300}
+  > {"id":2,"method":"analyze","program":"params N\ndo I = 1..N\n  S1: A(I) = A(I-1) + A(I)\nenddo\n","faults":"every=1"}
+  > {"id":3,"method":"optimize","program":"params N\ndo I = 1..N\n  S1: A(I) = A(I) + 1\nenddo\n","beam":-3}
+  > {"id":4,"method":"analyze","program":"params N\ndo I = 1..N\n  S1: A(I) = A(I-1) + A(I)\nenddo\n"}
+  > {"id":5,"method":"shutdown"}
+  > EOF
+  $ inltool serve < drills.jsonl
+  {"id":1,"method":"analyze","ok":false,"degraded":false,"error":{"code":"R706","severity":"error","phase":"serve","message":"request exceeded its 300 ms deadline, and the reduced-budget retry (fm_work=50000) also exceeded its deadline; request abandoned"},"diags":[{"code":"R706","severity":"error","phase":"serve","message":"request exceeded its 300 ms deadline, and the reduced-budget retry (fm_work=50000) also exceeded its deadline; request abandoned"}]}
+  {"id":2,"method":"analyze","ok":true,"degraded":true,"result":{"statements":1,"dependences":5,"approximate":5,"matrix":["flow S1->S1 on A [+] (carried(1)) [approximate]","flow S1->S1 on A [+] (carried(1)) [approximate]","anti S1->S1 on A [+] (carried(1)) [approximate]","anti S1->S1 on A [+] (carried(1)) [approximate]","output S1->S1 on A [+] (carried(1)) [approximate]"]},"diags":[{"code":"A201","severity":"warning","phase":"analysis","message":"approximate dependence flow S1->S1 on A [+] (carried(1)) [approximate]: injected fault: forced projection failure"},{"code":"A201","severity":"warning","phase":"analysis","message":"approximate dependence flow S1->S1 on A [+] (carried(1)) [approximate]: injected fault: forced projection failure"},{"code":"A201","severity":"warning","phase":"analysis","message":"approximate dependence anti S1->S1 on A [+] (carried(1)) [approximate]: injected fault: forced projection failure"},{"code":"A201","severity":"warning","phase":"analysis","message":"approximate dependence anti S1->S1 on A [+] (carried(1)) [approximate]: injected fault: forced projection failure"},{"code":"A201","severity":"warning","phase":"analysis","message":"approximate dependence output S1->S1 on A [+] (carried(1)) [approximate]: injected fault: forced projection failure"}]}
+  error[R707] serve: worker panic (recovered): Invalid_argument("Seq.take")
+  {"id":3,"method":"optimize","ok":false,"degraded":false,"error":{"code":"R707","severity":"error","phase":"serve","message":"worker panic (recovered): Invalid_argument(\"Seq.take\")"},"diags":[{"code":"R707","severity":"error","phase":"serve","message":"worker panic (recovered): Invalid_argument(\"Seq.take\")"}]}
+  {"id":4,"method":"analyze","ok":true,"degraded":false,"result":{"statements":1,"dependences":1,"approximate":0,"matrix":["flow S1->S1 on A [1] (carried(1))"]},"diags":[]}
+  {"id":5,"method":"shutdown","ok":true,"degraded":false,"result":{"draining":true},"diags":[]}
+  serve: drained after 5 requests (3 ok, 2 errors, 1 degraded)
+  [2]
+
+The bounded queue.  Five requests arrive in one write against a
+capacity of two: the daemon rejects the overflow immediately with R704
+(rejections jump the queue — the two accepted requests are answered
+after them), instead of buffering without bound.  An oversized line is
+rejected with R705 without being parsed:
+
+  $ cat > flood.jsonl <<'EOF'
+  > {"id":1,"method":"ping"}
+  > {"id":2,"method":"ping"}
+  > {"id":3,"method":"ping"}
+  > {"id":4,"method":"ping"}
+  > {"id":5,"method":"ping"}
+  > EOF
+  $ inltool serve --queue-cap 2 < flood.jsonl
+  {"id":3,"method":"","ok":false,"degraded":false,"error":{"code":"R704","severity":"error","phase":"serve","message":"overloaded: queue full (2 pending), request rejected"},"diags":[{"code":"R704","severity":"error","phase":"serve","message":"overloaded: queue full (2 pending), request rejected"}]}
+  {"id":4,"method":"","ok":false,"degraded":false,"error":{"code":"R704","severity":"error","phase":"serve","message":"overloaded: queue full (2 pending), request rejected"},"diags":[{"code":"R704","severity":"error","phase":"serve","message":"overloaded: queue full (2 pending), request rejected"}]}
+  {"id":5,"method":"","ok":false,"degraded":false,"error":{"code":"R704","severity":"error","phase":"serve","message":"overloaded: queue full (2 pending), request rejected"},"diags":[{"code":"R704","severity":"error","phase":"serve","message":"overloaded: queue full (2 pending), request rejected"}]}
+  {"id":1,"method":"ping","ok":true,"degraded":false,"result":{"pong":true},"diags":[]}
+  {"id":2,"method":"ping","ok":true,"degraded":false,"result":{"pong":true},"diags":[]}
+  serve: drained after 5 requests (2 ok, 3 errors, 0 degraded)
+  [1]
+
+  $ { printf '{"id":1,"method":"ping","pad":"'; head -c 300 /dev/zero | tr '\0' 'x'; printf '"}\n{"id":2,"method":"ping"}\n'; } > big.jsonl
+  $ inltool serve --max-request-bytes 200 < big.jsonl
+  {"id":null,"method":"","ok":false,"degraded":false,"error":{"code":"R705","severity":"error","phase":"serve","message":"oversized request (333 bytes, limit 200)"},"diags":[{"code":"R705","severity":"error","phase":"serve","message":"oversized request (333 bytes, limit 200)"}]}
+  {"id":2,"method":"ping","ok":true,"degraded":false,"result":{"pong":true},"diags":[]}
+  serve: drained after 2 requests (1 ok, 1 errors, 0 degraded)
+  [1]
+
+Crash-safe persistence.  A session with a state directory checkpoints
+the projection cache on drain; a restarted daemon restores it and
+serves the same analysis from cache (hits, no misses, on request 1):
+
+  $ printf '%s\n' '{"id":1,"method":"analyze","program":"params N\ndo I = 1..N\n  S1: A(I) = A(I-1) + A(I)\nenddo\n","stats":true}' '{"id":2,"method":"shutdown"}' > warm.jsonl
+  $ inltool serve --state st < warm.jsonl > first.out 2> first.err
+  $ grep -o '"project_calls":[0-9]*' first.out
+  "project_calls":6
+  $ test -f st/cache.snap && echo snapshot written
+  snapshot written
+
+  $ inltool serve --state st < warm.jsonl
+  serve: restored 4 projection-cache entries from st/cache.snap
+  {"id":1,"method":"analyze","ok":true,"degraded":false,"result":{"statements":1,"dependences":1,"approximate":0,"matrix":["flow S1->S1 on A [1] (carried(1))"]},"diags":[],"stats":{"project_calls":6,"cache_hits":6,"cache_misses":0,"counters":{}}}
+  {"id":2,"method":"shutdown","ok":true,"degraded":false,"result":{"draining":true},"diags":[]}
+  serve: drained after 2 requests (2 ok, 0 errors, 0 degraded)
+
+A corrupt snapshot — here a flipped payload byte that still passes no
+checksum — is detected, warned about (R709), and the daemon starts
+cold rather than trusting a bad byte:
+
+  $ printf 'X' | dd of=st/cache.snap bs=1 seek=60 conv=notrunc status=none
+  $ inltool serve --state st < warm.jsonl
+  warning[R709] serve: snapshot unusable, starting cold: st/cache.snap: corrupt snapshot (checksum mismatch)
+  {"id":1,"method":"analyze","ok":true,"degraded":false,"result":{"statements":1,"dependences":1,"approximate":0,"matrix":["flow S1->S1 on A [1] (carried(1))"]},"diags":[],"stats":{"project_calls":6,"cache_hits":2,"cache_misses":4,"counters":{}}}
+  {"id":2,"method":"shutdown","ok":true,"degraded":false,"result":{"draining":true},"diags":[]}
+  serve: drained after 2 requests (2 ok, 0 errors, 0 degraded)

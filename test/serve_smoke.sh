@@ -1,0 +1,144 @@
+#!/bin/sh
+# Acceptance drill for `inltool serve` (wired into `dune runtest` and
+# exposed as `make serve-smoke`):
+#
+#   phase 1  a mixed batch of 56 requests — analyze/verify/optimize/fuzz
+#            plus poisoned lines (malformed JSON, unknown methods,
+#            missing fields, injected solver blowups, an injected hang
+#            under a deadline) — through stdin.  Every well-formed
+#            request must be answered (possibly degraded, with a typed
+#            diagnostic), the daemon must drain cleanly with exit 1
+#            (findings, no internal fault), and a snapshot must exist.
+#
+#   phase 2  a daemon checkpointing every request is SIGKILLed
+#            mid-session — the crash-safety worst case.
+#
+#   phase 3  a restarted daemon must come up warm from the snapshot the
+#            killed daemon left behind: restored entries > 0 and a
+#            cache hit rate > 0 on the very first request, clean exit 0.
+#
+# Usage: serve_smoke.sh [path-to-inltool]
+set -u
+
+INLTOOL=${1:-./_build/default/bin/inltool.exe}
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke.XXXXXX") || exit 1
+trap 'rm -rf "$DIR"' EXIT
+STATE="$DIR/state"
+
+fail() {
+  echo "serve-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+PROG='params N\ndo I = 1..N\n  S1: %s(I) = %s(I-1) + %s(I)\nenddo\n'
+emit_analyze() { # $1 = id, $2 = array name, $3 = extra fields (or empty)
+  p=$(printf "$PROG" "$2" "$2" "$2" | sed 's/$/XX/' | tr -d '\n' | sed 's/XX/\\n/g')
+  printf '{"id":%s,"method":"analyze","program":"%s"%s}\n' "$1" "$p" "$3"
+}
+
+# ---- phase 1: 56-request mixed batch ----------------------------------
+BATCH="$DIR/batch.jsonl"
+: > "$BATCH"
+i=1
+while [ $i -le 20 ]; do # 20 analyze over 5 distinct arrays, some w/ stats
+  emit_analyze $i "A$((i % 5))" ',"stats":true' >> "$BATCH"
+  i=$((i + 1))
+done
+while [ $i -le 30 ]; do # 10 verify
+  printf '{"id":%s,"method":"verify","program":"params N\\ndo I = 1..N\\n  S1: B(I) = B(I) + 1\\nenddo\\n"}\n' $i >> "$BATCH"
+  i=$((i + 1))
+done
+while [ $i -le 35 ]; do # 5 small optimize
+  printf '{"id":%s,"method":"optimize","program":"params N\\ndo I = 1..N\\n  do J = 1..N\\n    S1: C(I,J) = C(I,J) + 1\\n  enddo\\nenddo\\n","size":8,"finalists":1,"depth":1}\n' $i >> "$BATCH"
+  i=$((i + 1))
+done
+while [ $i -le 37 ]; do # 2 tiny fuzz campaigns
+  printf '{"id":%s,"method":"fuzz","cases":2,"seed":%s}\n' $i $i >> "$BATCH"
+  i=$((i + 1))
+done
+while [ $i -le 42 ]; do # 5 malformed lines
+  printf 'this is not json (%s)\n' $i >> "$BATCH"
+  i=$((i + 1))
+done
+while [ $i -le 45 ]; do # 3 unknown methods
+  printf '{"id":%s,"method":"frobnicate"}\n' $i >> "$BATCH"
+  i=$((i + 1))
+done
+while [ $i -le 47 ]; do # 2 missing fields
+  printf '{"id":%s,"method":"analyze"}\n' $i >> "$BATCH"
+  i=$((i + 1))
+done
+while [ $i -le 49 ]; do # 2 injected solver blowups -> degraded answers
+  emit_analyze $i "F$i" ',"faults":"every=1"' >> "$BATCH"
+  i=$((i + 1))
+done
+# 1 injected hang under a deadline -> R706 after the reduced-budget retry
+emit_analyze 50 "H50" ',"faults":"hang=0","timeout_ms":300' >> "$BATCH"
+# 1 oversized request -> R705
+{
+  printf '{"id":51,"method":"ping","pad":"'
+  n=0
+  while [ $n -lt 3000 ]; do printf 'xxxxxxxxxx'; n=$((n + 10)); done
+  printf '"}\n'
+} >> "$BATCH"
+printf '{"id":52,"method":"ping"}\n' >> "$BATCH"
+printf '{"id":53,"method":"stats"}\n' >> "$BATCH"
+printf '{"id":54,"method":"verify","program":"params N\\ndo I = 1..N\\n  S1: B(I) = B(I-1) + 1\\nenddo\\n","against":"params N\\ndo I = 1..N\\n  S1: B(I) = B(I-1) + 1\\nenddo\\n"}\n' >> "$BATCH"
+printf '{"id":55,"method":"ping"}\n' >> "$BATCH"
+printf '{"id":56,"method":"shutdown"}\n' >> "$BATCH"
+
+requests=$(grep -c . "$BATCH")
+[ "$requests" -eq 56 ] || fail "batch has $requests lines, wanted 56"
+
+"$INLTOOL" serve --state "$STATE" --max-request-bytes 2000 \
+  < "$BATCH" > "$DIR/p1.out" 2> "$DIR/p1.err"
+code=$?
+[ "$code" -eq 1 ] || fail "phase 1 exit $code, wanted 1 (findings, no internal fault); stderr: $(cat "$DIR/p1.err")"
+
+responses=$(grep -c . "$DIR/p1.out")
+[ "$responses" -eq "$requests" ] || fail "phase 1: $responses responses to $requests requests"
+grep -q 'R707' "$DIR/p1.out" && fail "phase 1: unexpected worker panic"
+grep -q '"code":"R706"' "$DIR/p1.out" || fail "phase 1: hung request did not end in R706"
+grep -q '"code":"R705"' "$DIR/p1.out" || fail "phase 1: oversized request not rejected"
+grep -q '"code":"R701"' "$DIR/p1.out" || fail "phase 1: malformed JSON not rejected"
+grep -q '"degraded":true' "$DIR/p1.out" || fail "phase 1: no degraded answer under injected blowups"
+ok=$(grep -c '"ok":true' "$DIR/p1.out")
+[ "$ok" -ge 40 ] || fail "phase 1: only $ok ok answers"
+[ -f "$STATE/cache.snap" ] || fail "phase 1: no snapshot after drain"
+
+# ---- phase 2: SIGKILL mid-session --------------------------------------
+mkfifo "$DIR/in"
+"$INLTOOL" serve --state "$STATE" --checkpoint-every 1 \
+  < "$DIR/in" > "$DIR/p2.out" 2> "$DIR/p2.err" &
+pid=$!
+exec 3> "$DIR/in"
+i=1
+while [ $i -le 5 ]; do
+  emit_analyze $i "A$((i % 5))" '' >&3
+  i=$((i + 1))
+done
+tries=0
+while [ "$(grep -c . "$DIR/p2.out")" -lt 5 ]; do
+  tries=$((tries + 1))
+  [ $tries -gt 200 ] && fail "phase 2: daemon did not answer 5 requests"
+  sleep 0.1
+done
+kill -9 "$pid" 2> /dev/null
+wait "$pid" 2> /dev/null
+exec 3>&-
+[ "$(grep -c '"ok":true' "$DIR/p2.out")" -eq 5 ] || fail "phase 2: not all answers ok"
+
+# ---- phase 3: restart warm from the killed daemon's snapshot -----------
+{
+  emit_analyze 1 "A1" ',"stats":true'
+  printf '{"id":2,"method":"stats"}\n'
+  printf '{"id":3,"method":"shutdown"}\n'
+} | "$INLTOOL" serve --state "$STATE" > "$DIR/p3.out" 2> "$DIR/p3.err"
+code=$?
+[ "$code" -eq 0 ] || fail "phase 3 exit $code, wanted 0; stderr: $(cat "$DIR/p3.err")"
+grep -q 'restored' "$DIR/p3.err" || fail "phase 3: nothing restored from snapshot"
+hits=$(sed -n 's/.*"cache_hits":\([0-9]*\).*/\1/p' "$DIR/p3.out" | head -1)
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || fail "phase 3: cache cold after restart (hits=${hits:-none})"
+grep -q '"warm":true' "$DIR/p3.out" || fail "phase 3: stats do not report a warm cache"
+
+echo "serve-smoke: OK ($requests requests answered, killed + restarted warm: $hits hits on first request)"

@@ -263,6 +263,39 @@ let test_legality_jobs_agree () =
       Alcotest.(check bool) "uncached = cached" true (verdict_equal v1 vc))
     [ Px.corrected_c_rows; Px.paper_c_printed_rows ]
 
+(* Regression: a watchdog deadline firing mid-[Pool.map] must cancel the
+   remaining tasks at claim time and surface as this level's typed
+   timeout, not run the whole batch to completion first.  Tasks here
+   sleep without ever polling, so only claim-time cancellation can cut
+   the fan-out short: 40 x 50 ms at jobs=2 is a full second of work
+   against a 150 ms deadline. *)
+let test_watchdog_cancels_map () =
+  let module Watchdog = Inl_diag.Watchdog in
+  let started = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Watchdog.with_timeout ~ms:150 (fun () ->
+        Pool.map ~jobs:2
+          (fun _ ->
+            Atomic.incr started;
+            Unix.sleepf 0.05)
+          (List.init 40 Fun.id))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected the deadline to cancel the map");
+  Alcotest.(check bool)
+    (Printf.sprintf "cancelled promptly (%.0f ms elapsed)" (elapsed *. 1000.))
+    true (elapsed < 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "most tasks never started (%d of 40 ran)" (Atomic.get started))
+    true
+    (Atomic.get started < 40);
+  (* the pool is reusable afterwards, and no stale deadline lingers *)
+  Alcotest.(check bool) "deadline restored" false (Watchdog.active ());
+  Alcotest.(check (list int)) "pool survives" [ 0; 1; 2 ] (Pool.map ~jobs:2 Fun.id [ 0; 1; 2 ])
+
 let test_deps_sorted () =
   List.iter
     (fun src ->
@@ -283,6 +316,8 @@ let () =
           Alcotest.test_case "lowest-index exception" `Quick test_map_exception;
           Alcotest.test_case "nested maps" `Quick test_map_nested;
           Alcotest.test_case "filter_map" `Quick test_filter_map;
+          Alcotest.test_case "watchdog cancels an in-flight map" `Quick
+            test_watchdog_cancels_map;
           Alcotest.test_case "jobs capped at core count" `Quick test_jobs_cap;
         ] );
       ("cache", [ Alcotest.test_case "counters and eviction" `Quick test_cache_counters ]);
