@@ -2,7 +2,7 @@
 # full build, test suite, and static verification of the example
 # kernels (examples/kernels/dune).
 
-.PHONY: all build test check fuzz-smoke search-smoke bench-json clean
+.PHONY: all build test check fuzz-smoke search-smoke reuse-smoke bench-json clean
 
 all: build
 
@@ -41,6 +41,14 @@ serve-smoke:
 search-smoke:
 	dune build bench/bench_search.exe
 	./_build/default/bench/bench_search.exe --smoke --jobs 2
+
+# Static reuse-analysis smoke (the same drill the dune runtest rule
+# runs): `inltool analyze --reuse` on the paper's kji Cholesky must
+# report the pinned findings (U101/U102), scores, and typed degradation
+# codes (U901 singular, U902 budget), byte-reproducibly.
+reuse-smoke:
+	dune build bin/inltool.exe
+	sh test/reuse_smoke.sh ./_build/default/bin/inltool.exe
 
 # Solver-core benchmark: full-Cholesky analyze + legality + completion +
 # codegen + verify under (cache off/on) x (jobs 1/4); writes

@@ -59,6 +59,8 @@ type outcome = {
   jobs : int;
   effective_jobs : int;
   wall_s : float;
+  wall_cold_s : float;  (* first pass: process-wide memos empty *)
+  wall_warm_s : float;  (* second pass: signature/simulation memos hot *)
   candidates : int;
   output : string;
   result : Search.outcome;
@@ -68,13 +70,19 @@ let run_config ~name ~jobs config : outcome =
   Pool.set_jobs jobs;
   Inl.Stats.reset ();
   let ctx = Inl.analyze_source Px.cholesky_kji in
-  (* two passes, best wall time: suppresses scheduler noise *)
-  let t0 = Unix.gettimeofday () in
-  let r1 = Search.optimize ~config ctx in
-  let pass1 = Unix.gettimeofday () -. t0 in
-  let t1 = Unix.gettimeofday () in
-  let r2 = Search.optimize ~config ctx in
-  let pass2 = Unix.gettimeofday () -. t1 in
+  (* one cold pass, two warm passes, best wall time: the minimum
+     suppresses scheduler noise, and — since the reuse-signature and
+     trace-simulation memos are process-wide — it measures the
+     steady-state throughput an interactive or serving process sees
+     after its first search over a program *)
+  let pass () =
+    let t0 = Unix.gettimeofday () in
+    let r = Search.optimize ~config ctx in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, pass1 = pass () in
+  let r2, pass2 = pass () in
+  let _, pass3 = pass () in
   let output = render r1 in
   if not (String.equal output (render r2)) then (
     prerr_endline "FAIL: two passes of one configuration disagreed";
@@ -83,18 +91,26 @@ let run_config ~name ~jobs config : outcome =
     name;
     jobs;
     effective_jobs = Pool.jobs ();
-    wall_s = Float.min pass1 pass2;
+    wall_s = Float.min pass1 (Float.min pass2 pass3);
+    wall_cold_s = pass1;
+    wall_warm_s = Float.min pass2 pass3;
     candidates = r1.Search.funnel.Search.generated;
     output;
     result = r1;
   }
 
+let candidates_per_s (o : outcome) =
+  if o.wall_s > 0.0 then float_of_int o.candidates /. o.wall_s else 0.0
+
 let json_of_outcome (o : outcome) : string =
   Printf.sprintf
     "    {\"name\": %S, \"jobs\": %d, \"effective_jobs\": %d, \"wall_s\": %.6f, \
-     \"candidates\": %d, \"candidates_per_s\": %.1f}"
-    o.name o.jobs o.effective_jobs o.wall_s o.candidates
-    (if o.wall_s > 0.0 then float_of_int o.candidates /. o.wall_s else 0.0)
+     \"wall_cold_s\": %.6f, \"wall_warm_s\": %.6f, \"candidates\": %d, \
+     \"candidates_per_s\": %.1f, \"reuse_classes\": %d, \"reuse_pruned\": %d, \
+     \"sim_shared\": %d}"
+    o.name o.jobs o.effective_jobs o.wall_s o.wall_cold_s o.wall_warm_s o.candidates
+    (candidates_per_s o) o.result.Search.funnel.Search.reuse_classes
+    o.result.Search.funnel.Search.reuse_pruned o.result.Search.funnel.Search.sim_shared
 
 let () =
   let speclist =
@@ -137,7 +153,9 @@ let () =
       \  \"winner_misses\": %s,\n\
       \  \"source_misses\": %s,\n\
       \  \"outputs_byte_equal\": %b,\n\
-      \  \"speedup\": %.2f\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"candidates_per_sec\": %.1f,\n\
+      \  \"reuse_pruned\": %d\n\
        }\n"
       config.Search.beam config.Search.depth config.Search.finalists config.Search.size
       config.Search.seed
@@ -148,6 +166,8 @@ let () =
       | None -> "null")
       equal
       (if best.wall_s > 0.0 then baseline.wall_s /. best.wall_s else 0.0)
+      (candidates_per_s baseline)
+      baseline.result.Search.funnel.Search.reuse_pruned
   in
   (match !out_path with
   | "" -> print_string json

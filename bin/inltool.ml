@@ -23,6 +23,9 @@
 
 module Interp = Inl_interp.Interp
 module Verify = Inl_verify.Verify
+module Search = Inl_search.Search
+module Reuse = Inl_reuse.Reuse
+module Memo = Inl_reuse.Memo
 module Diag = Inl.Diag
 module Budget = Inl.Budget
 module Faults = Inl.Faults
@@ -120,6 +123,8 @@ let setup budget faults jobs no_cache stats : (bool, Diag.t list) result =
   | Some n -> Inl.Omega.set_default_budget (Budget.with_fm_work Budget.default n));
   (match jobs with None -> () | Some n -> Inl.Pool.set_jobs n);
   Inl.Omega.set_cache_enabled (not no_cache);
+  Reuse.set_memo_enabled (not no_cache);
+  Search.set_trace_cache_enabled (not no_cache);
   match faults with
   | None ->
       Faults.install Faults.none;
@@ -149,6 +154,19 @@ let report_stats () =
        cs.Inl.Cache.hits cs.Inl.Cache.misses cs.Inl.Cache.evictions cs.Inl.Cache.entries
        (100.0 *. Inl.Cache.hit_rate cs)
    else Printf.eprintf "projection cache: disabled (--no-cache)\n");
+  (if Reuse.memo_enabled () then begin
+     let ms = Reuse.memo_stats () in
+     Printf.eprintf
+       "reuse memo: %d hits, %d misses, %d evictions, %d entries (hit rate %.1f%%)\n"
+       ms.Memo.hits ms.Memo.misses ms.Memo.evictions ms.Memo.entries
+       (100.0 *. Memo.hit_rate ms);
+     let ts = Search.trace_cache_stats () in
+     Printf.eprintf
+       "trace memo: %d hits, %d misses, %d evictions, %d entries (hit rate %.1f%%)\n"
+       ts.Memo.hits ts.Memo.misses ts.Memo.evictions ts.Memo.entries
+       (100.0 *. Memo.hit_rate ts)
+   end
+   else Printf.eprintf "reuse/trace memos: disabled (--no-cache)\n");
   List.iter
     (fun (phase, wall, calls) ->
       Printf.eprintf "phase %-10s %8.3f s (%d call%s)\n" phase wall calls
@@ -562,8 +580,6 @@ let run_cmd =
 
 (* ---- optimize ---- *)
 
-module Search = Inl_search.Search
-
 let write_file path contents =
   let oc = open_out_bin path in
   output_string oc contents;
@@ -579,9 +595,11 @@ let optimize_cmd =
         let f = o.Search.funnel in
         Printf.printf
           "search: generated=%d materialize-failed=%d duplicate=%d pruned-illegal=%d \
-           scored=%d simulated=%d\n"
+           scored=%d classes=%d pruned-equivalent=%d simulated=%d sim-shared=%d \
+           sim-skipped=%d\n"
           f.Search.generated f.Search.materialize_failed f.Search.duplicate f.Search.illegal
-          f.Search.scored f.Search.simulated;
+          f.Search.scored f.Search.reuse_classes f.Search.reuse_pruned f.Search.simulated
+          f.Search.sim_shared f.Search.sim_skipped;
         (match (o.Search.source_accesses, o.Search.source_misses) with
         | Some a, Some m ->
             Printf.printf "source: accesses=%d misses=%d miss-rate=%.2f%%\n" a m
@@ -657,6 +675,98 @@ let optimize_cmd =
           ($(b,Inl_verify)) before being written; exits 1 when no candidate survives, 2 under \
           degraded analysis or degraded search tiers.")
     Term.(const run $ setup_term $ file_arg $ beam $ depth $ finalists $ size $ seed $ out)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run common file reuse recipe work line_elems =
+    with_context common file (fun ctx ->
+        if not reuse then begin
+          print_diags
+            [ Diag.error ~code:"D707" ~phase:Diag.Driver "no analysis selected (try --reuse)" ];
+          1
+        end
+        else
+          let matrix =
+            match recipe with
+            | None -> Ok (Inl.Mat.identity (Inl.Layout.size ctx.Inl.layout))
+            | Some path -> materialize_recipe ctx path
+          in
+          match matrix with
+          | Error ds ->
+              print_diags ds;
+              1
+          | Ok m -> (
+              match Inl.check ctx m with
+              | Inl.Legality.Illegal reason ->
+                  print_diags
+                    [
+                      Diag.errorf ~code:"L302" ~phase:Diag.Legality "illegal transformation: %s"
+                        reason;
+                    ];
+                  1
+              | Inl.Legality.Legal { structure; _ } ->
+                  let work_budget =
+                    match work with
+                    | Some _ -> work
+                    | None -> Some (Inl.Omega.get_default_budget ()).Budget.fm_work
+                  in
+                  let report = Reuse.analyze ?work_budget ?line_elems ctx structure in
+                  print_string (Reuse.render report);
+                  print_diags ctx.Inl.diags;
+                  print_diags report.Reuse.diags;
+                  Diag.exit_code (ctx.Inl.diags @ report.Reuse.diags)))
+  in
+  let reuse =
+    Arg.(
+      value & flag
+      & info [ "reuse" ]
+          ~doc:
+            "Report the static reuse classification: every array reference of every statement, \
+             classified per transformed loop dimension as temporal, spatial(stride) or none by \
+             propagating subscript deltas through the inverse per-statement transformation.  \
+             Findings are typed warnings ($(b,U101) no innermost reuse, $(b,U102) an outer \
+             loop's temporal reuse could be permuted innermost, $(b,U901) singular \
+             per-statement transformation, $(b,U902) work budget exhausted), so the exit code \
+             is 2 when the analysis found something or degraded.")
+  in
+  let recipe =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "recipe" ] ~docv:"R.tf"
+          ~doc:
+            "Analyze the program under this transformation recipe (the $(b,tf v1) format) \
+             instead of the identity: the report then describes the locality of the \
+             {e transformed} loop order.")
+  in
+  let work =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "work" ] ~docv:"W"
+          ~doc:
+            "Classification work budget, one unit per reference x loop dimension (default: the \
+             Fourier-Motzkin work allowance of $(b,--budget)).  Statements past the cap are \
+             reported unclassified ($(b,U902)) and scored pessimistically.")
+  in
+  let line_elems =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "line-elems" ] ~docv:"E"
+          ~doc:
+            "Cache line size in array elements (default 8 = 64-byte lines of 8-byte \
+             elements); strides of E or more elements count as no spatial reuse.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static locality analysis of a program (identity or a transformed schedule): the \
+          reuse-vocabulary report behind the autotuner's static tier, as a user-facing \
+          diagnostic pass.  Exits 0 when every reference has innermost reuse, 2 on findings \
+          or degraded classification, 1 on errors.")
+    Term.(const run $ setup_term $ file_arg $ reuse $ recipe $ work $ line_elems)
 
 (* ---- fuzz ---- *)
 
@@ -885,6 +995,7 @@ let () =
             complete_cmd;
             verify_cmd;
             run_cmd;
+            analyze_cmd;
             optimize_cmd;
             fuzz_cmd;
             serve_cmd;

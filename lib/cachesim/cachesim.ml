@@ -131,3 +131,26 @@ let simulate_program config arrays ?max_steps prog ~params =
   in
   ignore (Inl_interp.Interp.run ~trace ?max_steps prog ~params);
   stats cache
+
+let simulate_program_by_array config arrays ?max_steps prog ~params =
+  let map = Address_map.create arrays in
+  let cache = create config in
+  (* one shared cache — the arrays contend for lines exactly as in
+     simulate_program — with hit/miss attribution per array name *)
+  let per : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let trace (a : Inl_interp.Interp.access) =
+    let name = a.Inl_interp.Interp.array in
+    let hit = access cache (Address_map.address map name a.Inl_interp.Interp.index) in
+    let acc, hits = Option.value ~default:(0, 0) (Hashtbl.find_opt per name) in
+    Hashtbl.replace per name (acc + 1, if hit then hits + 1 else hits)
+  in
+  ignore (Inl_interp.Interp.run ~trace ?max_steps prog ~params);
+  let by_array =
+    List.filter_map
+      (fun (name, _) ->
+        match Hashtbl.find_opt per name with
+        | None -> Some (name, { accesses = 0; hits = 0; misses = 0 })
+        | Some (acc, hits) -> Some (name, { accesses = acc; hits; misses = acc - hits }))
+      arrays
+  in
+  (by_array, stats cache)

@@ -63,3 +63,19 @@ val simulate_program :
     bounded and raises {!Inl_interp.Interp.Step_limit} past the
     allowance — the search's trace tier uses this to stay responsive on
     pathological candidates. *)
+
+val simulate_program_by_array :
+  config ->
+  (string * int list) list ->
+  ?max_steps:int ->
+  Inl_ir.Ast.program ->
+  params:(string * int) list ->
+  (string * stats) list * stats
+(** Like {!simulate_program}, but additionally attributes hits and
+    misses to the array each access touched (one shared cache, so the
+    arrays contend for lines exactly as in the aggregate run; the
+    per-array list follows the declaration order of [arrays], arrays
+    never touched report zero accesses).  This is the ground truth the
+    static reuse classification of {!Inl_reuse} is cross-checked
+    against: a reference classified temporal or spatial innermost must
+    show a lower miss rate than a streaming one of the same extent. *)

@@ -47,3 +47,21 @@ let of_structure (st : Blockstruct.t) (label : string) : t =
 
 let rank (t : t) = Inl_linalg.Gauss.rank t.matrix
 let is_singular (t : t) = rank t < Mat.rows t.matrix
+
+(* Scaling a row of T_S by a positive factor (or negating it) rescales
+   one column of T_S^-1 without changing its direction, so the reuse
+   classes of Inl_reuse depend only on this form: each row divided by
+   the gcd of its entries, sign-fixed so the first non-zero entry is
+   positive. *)
+let canonical_rows (m : Mat.t) : Mat.t =
+  Array.map
+    (fun row ->
+      let g = Vec.gcd row in
+      let row =
+        if Mpz.is_zero g || Mpz.is_one g then Vec.copy row
+        else Array.map (fun x -> fst (Mpz.divmod x g)) row
+      in
+      match Vec.height row with
+      | Some h when Mpz.is_negative row.(h) -> Vec.neg row
+      | _ -> row)
+    m

@@ -27,3 +27,12 @@ val of_structure : Blockstruct.t -> string -> t
 
 val rank : t -> int
 val is_singular : t -> bool
+
+val canonical_rows : Mat.t -> Mat.t
+(** Row-canonical form used as the reuse-signature memo key
+    ({!Inl_reuse}): every row divided by the gcd of its entries and
+    sign-normalized so its first non-zero entry is positive.  Scaling a
+    row of [T_S] by a positive factor (or negating it) rescales one
+    column of [T_S^-1] without moving its direction, so the per-loop
+    reuse classes of a statement depend only on this form; the rank (and
+    hence singularity) is also preserved. *)

@@ -1,0 +1,43 @@
+(** Process-wide string-keyed memoization, mirroring the design of the
+    Omega projection cache ({!Inl_presburger.Cache}): one mutex around a
+    two-generation hash table — inserts fill a young generation; filling
+    it retires the old one, so an entry unused for two generations is
+    evicted in O(1) — with hit/miss/eviction counters for
+    [inltool --stats].
+
+    Callers key entries on a string they guarantee determines the stored
+    value bit-for-bit, so a hit is indistinguishable from a recompute;
+    that is what lets the search share one table across [--jobs] worker
+    domains without breaking its byte-identity contract.  Two domains
+    racing on a cold key may both compute the value — the duplicate
+    insert is benign because the values are equal. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val create : ?max_entries:int -> unit -> 'a t
+(** [max_entries] (default 4096, clamped to >= 1) is the size of each
+    generation; resident entries are bounded by twice that. *)
+
+val set_enabled : 'a t -> bool -> unit
+(** A disabled table answers every {!find} with [None], stores nothing,
+    and counts nothing — the [--no-cache] contract: results are
+    identical either way. *)
+
+val enabled : 'a t -> bool
+
+val find : 'a t -> string -> 'a option
+val add : 'a t -> string -> 'a -> unit
+
+val memo : 'a t -> string -> (unit -> 'a) -> 'a
+(** [memo t key f] is [find]-or-compute-and-[add].  [f] runs outside the
+    table's mutex; exceptions from [f] propagate and store nothing. *)
+
+val clear : 'a t -> unit
+(** Drops all entries and zeroes the counters. *)
+
+val stats : 'a t -> stats
+
+val hit_rate : stats -> float
+(** Hits over lookups; [0.0] when no lookups happened. *)

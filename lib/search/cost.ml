@@ -1,67 +1,12 @@
-module Q = Inl_num.Q
-module Mpz = Inl_num.Mpz
-module Ast = Inl_ir.Ast
-module Linexpr = Inl_presburger.Linexpr
-module Mat = Inl_linalg.Mat
-module Gauss = Inl_linalg.Gauss
-module Layout = Inl_instance.Layout
+(* The static tier is now the reuse-vocabulary analysis of Inl_reuse;
+   this module stays as the stable name the search and its tests score
+   through.  The numeric model is unchanged for unimodular candidates
+   (see Inl_reuse.Reuse for the exact correspondence); what changed is
+   that scores are derived from canonicalized, memoized reuse signatures
+   — so locality-equivalent candidates are scored once — and degraded
+   (singular-T_S) scoring is observable instead of silent. *)
 
-let collect_refs (stmt : Ast.stmt) : Ast.aref list =
-  let rec go acc = function
-    | Ast.Eref r -> r :: acc
-    | Ast.Econst _ | Ast.Evar _ -> acc
-    | Ast.Ebin (_, a, b) -> go (go acc a) b
-    | Ast.Ecall (_, args) -> List.fold_left go acc args
-  in
-  stmt.Ast.lhs :: List.rev (go [] stmt.Ast.rhs)
+module Reuse = Inl_reuse.Reuse
 
-(* Stand-in trip count per loop level: only the relative weighting of
-   statement depths matters, not the value. *)
-let nominal_trip = 16.0
-
-let q_to_float (q : Q.t) : float =
-  (* magnitudes are bounded by callers before conversion *)
-  float_of_int (Mpz.to_int (Q.num q)) /. float_of_int (Mpz.to_int (Q.den q))
-
-(* Cost of one reference given the per-iteration delta of each subscript
-   along the innermost direction, outer subscript first. *)
-let ref_cost ~line_elems (deltas : Q.t list) : float =
-  match List.rev deltas with
-  | [] -> 0.0 (* scalar: always the same cell *)
-  | last :: outer ->
-      if Q.is_zero last && List.for_all Q.is_zero outer then 0.0
-      else if List.for_all Q.is_zero outer then
-        let a = Q.abs last in
-        if Q.compare a (Q.of_int line_elems) <= 0 then
-          Float.min 1.0 (q_to_float a /. float_of_int line_elems)
-        else 1.0
-      else 1.0
-
-let statement_score ~line_elems (si : Layout.stmt_info) (per : Inl.Perstmt.t) : float =
-  let k = Mat.rows per.Inl.Perstmt.matrix in
-  if k = 0 then 0.0
-  else
-    let vars = List.map (fun (_, (l : Ast.loop)) -> l.Ast.var) si.Layout.loops in
-    let refs = collect_refs si.Layout.stmt in
-    let weight = nominal_trip ** float_of_int k in
-    match Gauss.inverse per.Inl.Perstmt.matrix with
-    | None ->
-        (* singular: the innermost direction is not determined yet *)
-        weight *. float_of_int (List.length refs)
-    | Some inv ->
-        (* d = T_S⁻¹ e_last: original-iteration step of one innermost
-           transformed iteration *)
-        let d = List.mapi (fun i _ -> inv.(i).(k - 1)) vars in
-        let delta (sub : Ast.affine) =
-          List.fold_left2
-            (fun acc v di -> Q.add acc (Q.mul (Q.of_mpz (Linexpr.coeff sub v)) di))
-            Q.zero vars d
-        in
-        let cost (r : Ast.aref) = ref_cost ~line_elems (List.map delta r.Ast.index) in
-        weight *. List.fold_left (fun acc r -> acc +. cost r) 0.0 refs
-
-let static_score ?(line_elems = 8) (ctx : Inl.context) (st : Inl.Blockstruct.t) : float =
-  List.fold_left
-    (fun acc (si : Layout.stmt_info) ->
-      acc +. statement_score ~line_elems si (Inl.Perstmt.of_structure st si.Layout.label))
-    0.0 ctx.Inl.layout.Layout.stmts
+let collect_refs = Reuse.collect_refs
+let static_score = Reuse.static_score

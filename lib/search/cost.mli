@@ -17,14 +17,20 @@
     Costs are weighted by a nominal trip count per loop depth so deeply
     nested statements dominate, matching their dynamic instance counts.
     Lower is better; the score is a deterministic function of the
-    context and the block structure. *)
+    context and the block structure.
+
+    Since the reuse-vocabulary pass landed this is a thin facade over
+    {!Inl_reuse.Reuse}: the score is derived from the statement's
+    canonicalized reuse signature (memoized process-wide), so scoring a
+    locality-equivalence class twice is a table lookup. *)
 
 val static_score : ?line_elems:int -> Inl.context -> Inl.Blockstruct.t -> float
 (** [line_elems] is the cache line size in array elements (default 8 =
     64-byte lines of 8-byte elements).  Statements whose per-statement
     transformation is singular (augmentation will add loops whose
     locality is unknown here) are charged the pessimistic cost [1] per
-    reference. *)
+    reference; the search reports that degradation once per run as
+    warning [S904]. *)
 
 val collect_refs : Inl_ir.Ast.stmt -> Inl_ir.Ast.aref list
 (** The statement's array references: left-hand side first, then every

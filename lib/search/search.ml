@@ -13,6 +13,8 @@ module Layout = Inl_instance.Layout
 module Dep = Inl_depend.Dep
 module Pool = Inl_parallel.Pool
 module Omega = Inl_presburger.Omega
+module Reuse = Inl_reuse.Reuse
+module Memo = Inl_reuse.Memo
 
 type config = {
   beam : int;
@@ -52,7 +54,11 @@ type funnel = {
   duplicate : int;
   illegal : int;
   scored : int;
+  reuse_classes : int;
+  reuse_pruned : int;
   simulated : int;
+  sim_shared : int;
+  sim_skipped : int;
 }
 
 type outcome = {
@@ -88,6 +94,8 @@ type state = {
   s_structure : Inl.Blockstruct.t;
   s_unsatisfied : Dep.t list;
   s_score : float;
+  s_sig_key : string;  (** canonical reuse-signature key (Inl_reuse) *)
+  s_unknown_refs : int;  (** references scored pessimistically (singular T_S) *)
   s_extendable : bool;
 }
 
@@ -107,6 +115,11 @@ let evaluate (ctx : Inl.context) (lcache : Inl.Legality.cache) ~extendable (reci
       match Inl.Legality.check ~cache:lcache ctx.Inl.layout m ctx.Inl.deps with
       | Inl.Legality.Illegal reason -> Eillegal reason
       | Inl.Legality.Legal { structure; unsatisfied } ->
+          (* the reuse signature is memoized process-wide on canonical
+             access/transformation matrices, so locality-equivalent
+             candidates — and re-searches of the same program — score by
+             table lookup from any worker domain *)
+          let sg = Reuse.signature ctx structure in
           Elegal
             {
               s_recipe = recipe;
@@ -114,11 +127,40 @@ let evaluate (ctx : Inl.context) (lcache : Inl.Legality.cache) ~extendable (reci
               s_matrix = m;
               s_structure = structure;
               s_unsatisfied = unsatisfied;
-              s_score = Cost.static_score ctx structure;
+              s_score = Reuse.score sg;
+              s_sig_key = Reuse.key sg;
+              s_unknown_refs = Reuse.unknown_refs sg;
               s_extendable = extendable;
             })
 
 (* ---- trace tier ---- *)
+
+(* Process-wide memos for the trace tier, mirroring the Omega projection
+   cache: keys render everything the simulation depends on (program
+   text, parameter bindings, cache geometry, array extents, step bound),
+   so a hit is bit-identical to a recompute and the tables are safe to
+   share across worker domains and across searches — a re-search of a
+   known program (the benchmark's second pass, the serve daemon) skips
+   straight past interpretation.  Failed simulations are never stored.
+   Disabled together with the other caches by --no-cache. *)
+let sim_memo : Cachesim.stats Memo.t = Memo.create ~max_entries:512 ()
+let arrays_memo : (string * int list) list Memo.t = Memo.create ~max_entries:256 ()
+
+let set_trace_cache_enabled b =
+  Memo.set_enabled sim_memo b;
+  Memo.set_enabled arrays_memo b
+
+let trace_cache_enabled () = Memo.enabled sim_memo
+let trace_cache_stats () = Memo.stats sim_memo
+
+let params_key params =
+  String.concat "," (List.map (fun (p, v) -> p ^ "=" ^ string_of_int v) params)
+
+let arrays_key arrays =
+  String.concat ";"
+    (List.map
+       (fun (a, dims) -> a ^ ":" ^ String.concat "," (List.map string_of_int dims))
+       arrays)
 
 (* Array extents for the trace tier, measured by running the source once
    and recording the largest subscript per dimension: a legal candidate
@@ -129,6 +171,10 @@ let evaluate (ctx : Inl.context) (lcache : Inl.Legality.cache) ~extendable (reci
    [size + 2] slop per dimension when the source itself cannot be traced
    (out-of-range subscripts, step limit). *)
 let arrays_of (config : config) (prog : Ast.program) ~params : (string * int list) list =
+  Memo.memo arrays_memo
+    (Printf.sprintf "arrays|%s|%d|%d|%s" (params_key params) config.size config.sim_max_steps
+       (Inl.Pp.program_to_string prog))
+  @@ fun () ->
   let seen = Hashtbl.create 8 in
   let order = ref [] in
   let dims : (string, int array) Hashtbl.t = Hashtbl.create 8 in
@@ -159,11 +205,23 @@ let arrays_of (config : config) (prog : Ast.program) ~params : (string * int lis
   | exception (Invalid_argument _ | Interp.Step_limit _) -> fallback ()
 
 let simulate (config : config) ~arrays ~params (prog : Ast.program) : Cachesim.stats option =
-  match
-    Cachesim.simulate_program config.cache arrays ~max_steps:config.sim_max_steps prog ~params
-  with
-  | stats -> Some stats
-  | exception (Invalid_argument _ | Interp.Step_limit _) -> None
+  let key =
+    Printf.sprintf "sim|%d/%d/%d|%s|%d|%s|%s" (Cachesim.line_bytes config.cache)
+      (Cachesim.sets config.cache) (Cachesim.assoc config.cache) (params_key params)
+      config.sim_max_steps (arrays_key arrays)
+      (Inl.Pp.program_to_string prog)
+  in
+  match Memo.find sim_memo key with
+  | Some stats -> Some stats
+  | None -> (
+      match
+        Cachesim.simulate_program config.cache arrays ~max_steps:config.sim_max_steps prog
+          ~params
+      with
+      | stats ->
+          Memo.add sim_memo key stats;
+          Some stats
+      | exception (Invalid_argument _ | Interp.Step_limit _) -> None)
 
 (* ---- the search ---- *)
 
@@ -177,8 +235,19 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   and duplicate = ref 0
   and illegal = ref 0
   and scored = ref 0
-  and simulated = ref 0 in
+  and reuse_classes = ref 0
+  and reuse_pruned = ref 0
+  and degraded_scores = ref 0
+  and unknown_refs_total = ref 0
+  and simulated = ref 0
+  and sim_shared = ref 0
+  and sim_skipped = ref 0 in
+  let memo_hits_before = (Reuse.memo_stats ()).Memo.hits in
   let seen : (int list list, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Reuse-signature equivalence classes of this search's legal
+     candidates: the first member of a class pays for the scoring, every
+     later member is a memo lookup and counts as pruned. *)
+  let sig_classes : (string, unit) Hashtbl.t = Hashtbl.create 32 in
   let all_legal = ref [] in
   (* Collect one generation's evaluations in input order: count the
      funnel, drop duplicates by materialized matrix, keep fresh legal
@@ -203,6 +272,15 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
             else begin
               Hashtbl.add seen key ();
               incr scored;
+              if Hashtbl.mem sig_classes st.s_sig_key then incr reuse_pruned
+              else begin
+                Hashtbl.add sig_classes st.s_sig_key ();
+                incr reuse_classes
+              end;
+              if st.s_unknown_refs > 0 then begin
+                incr degraded_scores;
+                unknown_refs_total := !unknown_refs_total + st.s_unknown_refs
+              end;
               all_legal := st :: !all_legal;
               Some st
             end)
@@ -265,6 +343,14 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
        beam := List.to_seq pool |> Seq.take config.beam |> List.of_seq
      done
    with Exit -> ());
+  (* The satellite of degraded scoring: candidates containing a
+     singular per-statement transformation are charged the pessimistic
+     cost, once silently — now a one-time typed warning per run. *)
+  if !degraded_scores > 0 then
+    warn "S904"
+      "static scoring degraded for %d candidate(s): %d reference(s) under a singular \
+       per-statement transformation charged the pessimistic cost"
+      !degraded_scores !unknown_refs_total;
   (* ---- finalists: static ranking, then the trace tier ---- *)
   let ranked_static = List.sort compare_static !all_legal in
   let finalists =
@@ -297,36 +383,65 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
             None)
       finalists
   in
+  (* The trace tier simulates one representative per reuse-signature
+     class: the best-ranked finalist of a class that survived code
+     generation pays for the simulation, the others inherit its miss
+     counts (their per-statement innermost behavior is identical by
+     construction; the final ranking still breaks ties on the static
+     tier and the recipe text, so sharing preserves determinism). *)
+  let fin_arr = Array.of_list finalists in
+  let prog_arr = Array.of_list programs in
+  let rep_table : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i st ->
+      if prog_arr.(i) <> None && not (Hashtbl.mem rep_table st.s_sig_key) then
+        Hashtbl.add rep_table st.s_sig_key i)
+    fin_arr;
+  let sim_inputs =
+    Some ctx.Inl.program
+    :: Array.to_list
+         (Array.mapi
+            (fun i p ->
+              if p <> None && Hashtbl.find rep_table fin_arr.(i).s_sig_key = i then p
+              else None)
+            prog_arr)
+  in
   let sims =
     Stats.timed "simulate" (fun () ->
         Pool.map
           (function
             | None -> None
             | Some prog -> simulate config ~arrays ~params prog)
-          (Some ctx.Inl.program :: programs))
+          sim_inputs)
   in
-  let source_sim, finalist_sims =
-    match sims with s :: rest -> (s, rest) | [] -> (None, [])
+  let source_sim, rep_sims =
+    match sims with s :: rest -> (s, Array.of_list rest) | [] -> (None, [||])
   in
   let scored_entries =
-    List.map2
-      (fun st (prog, sim) ->
-        (match (prog, sim) with
-        | Some _, None ->
-            warn "S903" "simulation skipped for candidate '%s' (out-of-range access or step limit)"
-              (recipe_line st.s_recipe)
-        | _ -> ());
-        if sim <> None then incr simulated;
-        {
-          rank = 0;
-          recipe = st.s_recipe;
-          static_score = st.s_score;
-          misses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.misses) sim;
-          accesses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.accesses) sim;
-          program = prog;
-        })
-      finalists
-      (List.combine programs finalist_sims)
+    Array.to_list
+      (Array.mapi
+         (fun i st ->
+           let prog = prog_arr.(i) in
+           let rep = match prog with None -> i | Some _ -> Hashtbl.find rep_table st.s_sig_key in
+           let sim = match prog with None -> None | Some _ -> rep_sims.(rep) in
+           (match (prog, sim) with
+           | Some _, None when rep = i ->
+               incr sim_skipped;
+               warn "S903"
+                 "simulation skipped for candidate '%s' (out-of-range access or step limit)"
+                 (recipe_line st.s_recipe)
+           | _ -> ());
+           if prog <> None && rep <> i then incr sim_shared;
+           if sim <> None && rep = i then incr simulated;
+           {
+             rank = 0;
+             recipe = st.s_recipe;
+             static_score = st.s_score;
+             misses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.misses) sim;
+             accesses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.accesses) sim;
+             program = prog;
+           })
+         fin_arr)
   in
   (* Final order: simulated candidates by misses, then the rest by the
      static tier; every tie breaks on the recipe text. *)
@@ -376,7 +491,11 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
       duplicate = !duplicate;
       illegal = !illegal;
       scored = !scored;
+      reuse_classes = !reuse_classes;
+      reuse_pruned = !reuse_pruned;
       simulated = !simulated;
+      sim_shared = !sim_shared;
+      sim_skipped = !sim_skipped;
     }
   in
   Stats.count "search.generated" funnel.generated;
@@ -384,7 +503,13 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   Stats.count "search.duplicate" funnel.duplicate;
   Stats.count "search.pruned-illegal" funnel.illegal;
   Stats.count "search.scored-static" funnel.scored;
+  Stats.count "search.reuse.classes" funnel.reuse_classes;
+  Stats.count "search.reuse.pruned" funnel.reuse_pruned;
+  Stats.count "search.reuse.memo_hits" ((Reuse.memo_stats ()).Memo.hits - memo_hits_before);
+  Stats.count "search.score-degraded" !degraded_scores;
   Stats.count "search.simulated" funnel.simulated;
+  Stats.count "search.sim-shared" funnel.sim_shared;
+  Stats.count "search.sim-skipped" funnel.sim_skipped;
   {
     entries;
     winner;

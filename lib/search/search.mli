@@ -15,11 +15,14 @@
     lookups; an illegal candidate is dropped and never extended, cutting
     its whole subtree.
 
-    Survivors are ranked by the static tier ({!Cost.static_score});
-    the top [finalists] are code-generated and scored by the
-    {!Inl_cachesim} trace tier at a configurable problem size.  The
-    winner is gated through {!Inl_verify} translation validation before
-    being reported.
+    Survivors are ranked by the static tier ({!Cost.static_score}, the
+    reuse-vocabulary score of {!Inl_reuse} — candidates in the same
+    signature equivalence class are scored once through a process-wide
+    memo); the top [finalists] are code-generated and scored by the
+    {!Inl_cachesim} trace tier at a configurable problem size, with one
+    simulation per finalist signature class (the others inherit the
+    representative's miss counts).  The winner is gated through
+    {!Inl_verify} translation validation before being reported.
 
     Determinism: per-generation candidate evaluation fans out over
     {!Inl_parallel.Pool} with input-order collection, ranking ties break
@@ -66,7 +69,19 @@ type funnel = {
   duplicate : int;  (** distinct recipes reaching an already-seen matrix *)
   illegal : int;  (** pruned by the legality test *)
   scored : int;  (** legal, statically scored *)
-  simulated : int;  (** finalists scored by the trace tier *)
+  reuse_classes : int;
+      (** distinct reuse-signature equivalence classes among the scored
+          candidates ({!Inl_reuse}) *)
+  reuse_pruned : int;
+      (** scored candidates whose signature class had already been seen —
+          their static score was a memo lookup, not a recomputation *)
+  simulated : int;  (** simulations actually run (one per finalist class) *)
+  sim_shared : int;
+      (** finalists that inherited a class representative's miss counts
+          instead of being simulated themselves *)
+  sim_skipped : int;
+      (** class representatives whose simulation was skipped
+          (out-of-range access or step limit — warning [S903]) *)
 }
 
 type outcome = {
@@ -76,8 +91,10 @@ type outcome = {
   source_accesses : int option;
   diags : Diag.t list;
       (** warnings: [S901] codegen degraded, [S902] a finalist failed
-          translation validation, [S903] simulation skipped; plus the
-          winner's verification warnings.  Errors: [S801] no legal
+          translation validation, [S903] simulation skipped, [S904]
+          static scoring degraded (singular per-statement
+          transformations charged pessimistically, once per run); plus
+          the winner's verification warnings.  Errors: [S801] no legal
           candidate survived. *)
   funnel : funnel;
 }
@@ -91,3 +108,15 @@ val recipe_line : Tf.t -> string
 (** One-line human rendering of a recipe, e.g.
     ["interchange J,I2; reverse K"] or ["complete row=[0,0,0,1,0,0,0]"];
     ["identity"] for the empty recipe. *)
+
+val set_trace_cache_enabled : bool -> unit
+(** Enable/disable the process-wide trace-tier memos (simulation results
+    and measured array extents, keyed on rendered program text plus the
+    full simulation geometry).  Results are identical either way —
+    [--no-cache] turns them off together with the Omega projection cache
+    for benchmarking and debugging. *)
+
+val trace_cache_enabled : unit -> bool
+
+val trace_cache_stats : unit -> Inl_reuse.Memo.stats
+(** Counters of the simulation memo, for [--stats]. *)

@@ -1,0 +1,106 @@
+The static reuse report, end to end, on the paper's motivating kernel —
+the kji (column-oriented) Cholesky whose cache behavior Section 1
+compares against the row-oriented orders:
+
+  $ cat > chol.loop <<'EOF'
+  > params N
+  > do K = 1..N
+  >   S1: A(K,K) = sqrt(A(K,K))
+  >   do I = K+1..N
+  >     S2: A(I,K) = A(I,K) / A(K,K)
+  >   enddo
+  >   do J = K+1..N
+  >     do I2 = J..N
+  >       S3: A(I2,J) = A(I2,J) - A(I2,K) * A(J,K)
+  >     enddo
+  >   enddo
+  > enddo
+  > EOF
+
+Every statement streams in its innermost loop (U101), and S3's temporal
+reuse sits on outer loops that could be permuted innermost (U102) — the
+exact facts the autotuner's static tier ranks candidates by.  Findings
+make the exit code 2:
+
+  $ inltool analyze --reuse chol.loop
+  warning[U101] analysis: statement S1: no temporal or spatial reuse in the innermost loop K for A(K,K) (a new cache line every iteration)
+  warning[U101] analysis: statement S2: no temporal or spatial reuse in the innermost loop I for A(I,K) (a new cache line every iteration)
+  warning[U101] analysis: statement S3: no temporal or spatial reuse in the innermost loop I2 for A(I2,J), A(I2,K) (a new cache line every iteration)
+  warning[U102] analysis: statement S3: loop K carries temporal reuse for A(I2,J); permuting it innermost would hoist the reuse
+  warning[U102] analysis: statement S3: loop J carries temporal reuse for A(I2,K); permuting it innermost would hoist the reuse
+  reuse signature (cache line = 8 elements):
+  S1: depth 1  loops [K]
+    write A(K,K)         K:none
+    read  A(K,K)         K:none
+  S2: depth 2  loops [K; I]
+    write A(I,K)         K:spatial(1)  I:none
+    read  A(I,K)         K:spatial(1)  I:none
+    read  A(K,K)         K:none  I:temporal
+  S3: depth 3  loops [K; J; I2]
+    write A(I2,J)        K:temporal  J:spatial(1)  I2:none
+    read  A(I2,J)        K:temporal  J:spatial(1)  I2:none
+    read  A(I2,K)        K:spatial(1)  J:temporal  I2:none
+    read  A(J,K)         K:spatial(1)  J:none  I2:temporal
+  static score: 12832.000 (lower is better)
+  [2]
+
+The same program under the left-looking completion row the autotuner
+finds: the score drops sevenfold, and the partial row leaves S2's
+per-statement transformation singular — surfaced as U901 and scored
+pessimistically, never silently:
+
+  $ printf 'tf v1\nrow 0,0,0,0,1,0,0\n' > left.tf
+  $ inltool analyze --reuse chol.loop --recipe left.tf
+  warning[U101] analysis: statement S1: no temporal or spatial reuse in the innermost loop K for A(K,K) (a new cache line every iteration)
+  warning[U901] analysis: statement S2: singular per-statement transformation (rank < 2); reuse unknown, scored pessimistically until augmentation assigns the missing loops
+  reuse signature (cache line = 8 elements):
+  S1: depth 1  loops [K]
+    write A(K,K)         K:none
+    read  A(K,K)         K:none
+  S2: depth 2  loops [K; I]  (singular T_S)
+    write A(I,K)         K:unknown  I:unknown
+    read  A(I,K)         K:unknown  I:unknown
+    read  A(K,K)         K:unknown  I:unknown
+  S3: depth 3  loops [K; J; I2]
+    write A(I2,J)        K:spatial(1)  J:none  I2:temporal
+    read  A(I2,J)        K:spatial(1)  J:none  I2:temporal
+    read  A(I2,K)        K:temporal  J:none  I2:spatial(1)
+    read  A(J,K)         K:none  J:temporal  I2:spatial(1)
+  static score: 1824.000 (lower is better)
+  [2]
+
+A drained work budget degrades, with a typed warning and the
+pessimistic score — never a wrong answer:
+
+  $ inltool analyze --reuse chol.loop --work 1 2>&1 >/dev/null
+  warning[U902] analysis: reuse work budget exhausted: 3 of 3 statement(s) unclassified and scored pessimistically (raise --work or --budget)
+  [2]
+
+A row-major traversal with innermost spatial reuse on every reference
+is clean — exit 0, no findings:
+
+  $ cat > clean.loop <<'EOF'
+  > params N
+  > do I = 1..N
+  >   do J = 1..N
+  >     S1: B(I,J) = B(I,J) + 1
+  >   enddo
+  > enddo
+  > EOF
+  $ inltool analyze --reuse clean.loop
+  reuse signature (cache line = 8 elements):
+  S1: depth 2  loops [I; J]
+    write B(I,J)         I:none  J:spatial(1)
+    read  B(I,J)         I:none  J:spatial(1)
+  static score: 64.000 (lower is better)
+
+Driver errors are typed: no analysis selected, an illegal recipe:
+
+  $ inltool analyze chol.loop
+  error[D707] driver: no analysis selected (try --reuse)
+  [1]
+
+  $ printf 'tf v1\nstep reverse K\n' > rev.tf
+  $ inltool analyze --reuse chol.loop --recipe rev.tf
+  error[L302] legality: illegal transformation: dependence flow S3->S1 on A [+, -1, 0, 1, 0, 0, +] (carried(1)) maps to a possibly lexicographically negative vector
+  [1]

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Static reuse-analysis smoke (wired into `dune runtest` and exposed as
+# `make reuse-smoke`): `inltool analyze --reuse` on the paper's kji
+# Cholesky — the motivating worst-of-six loop order — must report the
+# pinned findings and scores:
+#
+#   identity   every statement streams innermost (3x U101), and S3's
+#              temporal reuse could be permuted innermost (2x U102);
+#              exit 2, static score 12832.
+#
+#   recipe     under the left-looking completion row the autotuner
+#              finds, the score drops to 1824; the partial row leaves
+#              S2's per-statement transformation singular, which must
+#              surface as U901, not silently score as reuse.
+#
+#   budget     --work 1 exhausts the classification budget: U902, every
+#              reference unknown, the pessimistic (maximal) score.
+#
+#   clean      a row-major traversal with innermost spatial reuse on
+#              every reference exits 0 with no findings.
+#
+# The identity report is also run twice and byte-compared: the
+# process-external answer must not depend on memo state.
+set -u
+
+INLTOOL=${1:-./_build/default/bin/inltool.exe}
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/reuse-smoke.XXXXXX") || exit 1
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "reuse-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+cat > "$DIR/chol.loop" << 'EOF'
+params N
+do K = 1..N
+  S1: A(K,K) = sqrt(A(K,K))
+  do I = K+1..N
+    S2: A(I,K) = A(I,K) / A(K,K)
+  enddo
+  do J = K+1..N
+    do I2 = J..N
+      S3: A(I2,J) = A(I2,J) - A(I2,K) * A(J,K)
+    enddo
+  enddo
+enddo
+EOF
+
+# ---- identity: streaming innermost, permutable temporal reuse ----------
+"$INLTOOL" analyze --reuse "$DIR/chol.loop" > "$DIR/id.out" 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "identity exit $code, wanted 2 (findings)"
+u101=$(grep -c 'U101' "$DIR/id.out")
+[ "$u101" -eq 3 ] || fail "identity: $u101 U101 findings, wanted 3"
+u102=$(grep -c 'U102' "$DIR/id.out")
+[ "$u102" -eq 2 ] || fail "identity: $u102 U102 findings, wanted 2"
+grep -q 'static score: 12832.000' "$DIR/id.out" || fail "identity score drifted: $(grep 'static score' "$DIR/id.out")"
+
+"$INLTOOL" analyze --reuse "$DIR/chol.loop" > "$DIR/id2.out" 2>&1
+cmp -s "$DIR/id.out" "$DIR/id2.out" || fail "two identical analyses disagreed"
+
+# ---- left-looking recipe: better score, singular T_S surfaced ----------
+printf 'tf v1\nrow 0,0,0,0,1,0,0\n' > "$DIR/left.tf"
+"$INLTOOL" analyze --reuse "$DIR/chol.loop" --recipe "$DIR/left.tf" > "$DIR/left.out" 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "recipe exit $code, wanted 2"
+grep -q 'U901' "$DIR/left.out" || fail "recipe: singular T_S not surfaced as U901"
+grep -q '(singular T_S)' "$DIR/left.out" || fail "recipe: report lacks the singular marker"
+grep -q 'static score: 1824.000' "$DIR/left.out" || fail "recipe score drifted: $(grep 'static score' "$DIR/left.out")"
+
+# ---- exhausted budget: everything unknown, scored pessimistically ------
+"$INLTOOL" analyze --reuse "$DIR/chol.loop" --work 1 > "$DIR/tiny.out" 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "--work 1 exit $code, wanted 2"
+grep -q 'U902' "$DIR/tiny.out" || fail "--work 1: budget exhaustion not surfaced as U902"
+grep -q 'static score: 17184.000' "$DIR/tiny.out" || fail "--work 1 score drifted: $(grep 'static score' "$DIR/tiny.out")"
+
+# ---- clean program: no findings, exit 0 --------------------------------
+cat > "$DIR/clean.loop" << 'EOF'
+params N
+do I = 1..N
+  do J = 1..N
+    S1: B(I,J) = B(I,J) + A(I,J)
+  enddo
+enddo
+EOF
+"$INLTOOL" analyze --reuse "$DIR/clean.loop" > "$DIR/clean.out" 2>&1
+code=$?
+[ "$code" -eq 0 ] || fail "clean exit $code, wanted 0; output: $(cat "$DIR/clean.out")"
+grep -q 'warning' "$DIR/clean.out" && fail "clean program produced findings"
+
+echo "reuse-smoke: OK (identity 12832 -> left-looking 1824; U101=$u101 U102=$u102, budget + singular degradations typed)"

@@ -20,10 +20,17 @@ classical orders):
 A tiny pinned search: fixed seed, small beam, small trace size.  The
 completion seed that hoists J outermost (a left-looking schedule) wins;
 at this size the trace tier ties on cold misses and the static tier
-breaks the tie:
+breaks the tie.  Candidates falling into an already-seen reuse-signature
+class are pruned from rescoring (classes= vs pruned-equivalent=), and
+only one finalist per class is simulated — ranks 2 and 3 differ by an
+alignment, which moves iterations without changing any per-statement
+access pattern, so rank 3 inherits rank 2's trace (sim-shared=1).  One
+candidate hit a singular per-statement transformation and was charged
+pessimistically, which the search reports once as a typed warning:
 
   $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 -o smoke
-  search: generated=173 materialize-failed=6 duplicate=25 pruned-illegal=80 scored=62 simulated=3
+  warning[S904] search: static scoring degraded for 1 candidate(s): 3 reference(s) under a singular per-statement transformation charged the pessimistic cost
+  search: generated=173 materialize-failed=6 duplicate=25 pruned-illegal=80 scored=62 classes=15 pruned-equivalent=47 simulated=2 sim-shared=1 sim-skipped=0
   source: accesses=3112 misses=30 miss-rate=0.96%
   rank      static    misses   miss%  recipe
      1    1824.000        30   0.96%  complete row=[0,0,0,0,1,0,0]
@@ -47,6 +54,7 @@ breaks the tie:
       enddo
     enddo
   enddo
+  [2]
 
 
 
@@ -60,7 +68,11 @@ The same search is byte-identical across worker counts (the acceptance
 drill for determinism):
 
   $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --jobs 1 -o j1 > out1
+  warning[S904] search: static scoring degraded for 1 candidate(s): 3 reference(s) under a singular per-statement transformation charged the pessimistic cost
+  [2]
   $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --jobs 8 -o j8 > out8
+  warning[S904] search: static scoring degraded for 1 candidate(s): 3 reference(s) under a singular per-statement transformation charged the pessimistic cost
+  [2]
   $ grep -v '^wrote ' out1 > out1.c && grep -v '^wrote ' out8 > out8.c
   $ cmp out1.c out8.c && cmp j1.loop j8.loop && cmp j1.tf j8.tf && echo identical
   identical
@@ -85,12 +97,20 @@ Recipe errors are typed diagnostics, not backtraces:
   error[D705] driver: recipe bad2.tf does not materialize against this program: error[T301] legality: step 'interchange ZZ<->QQ' failed against the current program shape
   [1]
 
---stats exposes the search funnel as counters:
+--stats exposes the search funnel as counters (pinned at --jobs 1:
+memo hit counts depend on which worker gets to a signature first, so
+only the single-worker run is byte-reproducible):
 
-  $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --stats -o st 2>&1 >/dev/null | grep counter
+  $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --stats --jobs 1 -o st 2>&1 >/dev/null | grep counter
   counter search.duplicate               25
   counter search.generated              173
   counter search.materialize-failed        6
   counter search.pruned-illegal          80
+  counter search.reuse.classes           15
+  counter search.reuse.memo_hits         62
+  counter search.reuse.pruned            47
+  counter search.score-degraded           1
   counter search.scored-static           62
-  counter search.simulated                3
+  counter search.sim-shared               1
+  counter search.sim-skipped              0
+  counter search.simulated                2
