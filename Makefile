@@ -2,7 +2,7 @@
 # full build, test suite, and static verification of the example
 # kernels (examples/kernels/dune).
 
-.PHONY: all build test check fuzz-smoke search-smoke reuse-smoke bench-json clean
+.PHONY: all build test check fuzz-smoke search-smoke reuse-smoke bench-json perf-guard clean
 
 all: build
 
@@ -64,6 +64,14 @@ bench-json:
 	cat BENCH_solver.json
 	./_build/default/bench/bench_search.exe -o BENCH_search.json
 	cat BENCH_search.json
+
+# Perf regression guard (also the opt-in `dune build @perf-guard`
+# alias): re-runs the default autotuner workload and exits nonzero if
+# candidates/sec drops below 50% of the committed BENCH_search.json, or
+# if the pinned winner recipe / simulated miss count changes.
+perf-guard:
+	dune build bench/bench_search.exe
+	./_build/default/bench/bench_search.exe --guard BENCH_search.json -o /dev/null
 
 clean:
 	dune clean

@@ -8,18 +8,34 @@
    with the sequential one on a single byte: the search's determinism
    contract, measured rather than assumed.
 
+   The report is honest about hardware: it prints the detected core
+   count, the effective worker count the pool actually granted, and a
+   warning field whenever `effective_jobs < jobs` — on a single-core
+   box a jobs=4 row is a determinism check, not a speedup claim.  Each
+   config row also carries the incremental-evaluation counters (delta
+   legality inherit rate, memo hit rates) so the throughput number can
+   be audited from the JSON artifact alone.
+
    `--smoke` (wired into `dune runtest` and `make search-smoke`) runs a
    tiny fixed-seed search and asserts the pinned winner recipe, so the
-   tier-1 gate notices if the search's ranking ever drifts. *)
+   tier-1 gate notices if the search's ranking ever drifts.
+
+   `--guard FILE` (wired into `make perf-guard` and the opt-in
+   `@perf-guard` dune alias) re-runs the default workload and fails if
+   throughput regressed below 50% of the committed FILE's
+   candidates_per_sec, or if the winner recipe / miss count changed. *)
 
 module Px = Inl_kernels.Paper_examples
 module Search = Inl_search.Search
 module Tf = Inl_fuzz.Tf
 module Pool = Inl.Pool
+module Memo = Inl_diag.Memo
+module Json = Inl_serve.Json
 
 let out_path = ref ""
 let par_jobs = ref 4
 let smoke = ref false
+let guard_path = ref ""
 
 (* The `make search-smoke` configuration: small enough to run inside the
    test suite, big enough that the beam has real choices to make. *)
@@ -54,6 +70,14 @@ let render (o : Search.outcome) : string =
     | None -> "no winner\n");
   Buffer.contents b
 
+(* hits/misses of one process-wide memo accrued during one config's
+   passes: the difference of two cumulative snapshots *)
+type memo_delta = { m_hits : int; m_misses : int }
+
+let memo_rate d =
+  let lookups = d.m_hits + d.m_misses in
+  if lookups = 0 then 0.0 else float_of_int d.m_hits /. float_of_int lookups
+
 type outcome = {
   name : string;
   jobs : int;
@@ -62,17 +86,39 @@ type outcome = {
   wall_cold_s : float;  (* first pass: process-wide memos empty *)
   wall_warm_s : float;  (* second pass: signature/simulation memos hot *)
   candidates : int;
+  delta_inherited : int;  (* legality verdicts inherited from the parent state *)
+  delta_checked : int;  (* legality verdicts that had to be recomputed *)
+  legality_memo : memo_delta;  (* process-wide verdict memo *)
+  mat_memo : memo_delta;  (* pipeline-prefix + completion materialization memos *)
+  trace_memo : memo_delta;  (* simulation-result memo *)
   output : string;
   result : Search.outcome;
 }
 
+let warning_of (o : outcome) ~cores =
+  if o.effective_jobs < o.jobs then
+    Some
+      (Printf.sprintf "requested %d jobs but only %d effective (%d core%s detected)" o.jobs
+         o.effective_jobs cores
+         (if cores = 1 then "" else "s"))
+  else None
+
+let snap () =
+  let l = Inl.Legality.memo_stats () in
+  let p = Search.mat_cache_stats () in
+  let c = Search.completion_cache_stats () in
+  let t = Search.trace_cache_stats () in
+  (l, p, c, t)
+
 let run_config ~name ~jobs config : outcome =
   Pool.set_jobs jobs;
   Inl.Stats.reset ();
+  Inl.Legality.reset_delta_stats ();
+  let l0, p0, c0, t0 = snap () in
   let ctx = Inl.analyze_source Px.cholesky_kji in
-  (* one cold pass, two warm passes, best wall time: the minimum
-     suppresses scheduler noise, and — since the reuse-signature and
-     trace-simulation memos are process-wide — it measures the
+  (* one cold pass, four warm passes, best wall time: the minimum
+     suppresses scheduler noise, and — since the verdict, materialization,
+     signature and simulation memos are process-wide — it measures the
      steady-state throughput an interactive or serving process sees
      after its first search over a program *)
   let pass () =
@@ -82,19 +128,32 @@ let run_config ~name ~jobs config : outcome =
   in
   let r1, pass1 = pass () in
   let r2, pass2 = pass () in
-  let _, pass3 = pass () in
+  let warm =
+    List.fold_left (fun acc () -> Float.min acc (snd (pass ()))) pass2 [ (); (); () ]
+  in
   let output = render r1 in
   if not (String.equal output (render r2)) then (
     prerr_endline "FAIL: two passes of one configuration disagreed";
     exit 1);
+  let l1, p1, c1, t1 = snap () in
+  let d (b : Memo.stats) (a : Memo.stats) =
+    { m_hits = a.Memo.hits - b.Memo.hits; m_misses = a.Memo.misses - b.Memo.misses }
+  in
+  let sum x y = { m_hits = x.m_hits + y.m_hits; m_misses = x.m_misses + y.m_misses } in
+  let inherited, checked = Inl.Legality.delta_stats () in
   {
     name;
     jobs;
     effective_jobs = Pool.jobs ();
-    wall_s = Float.min pass1 (Float.min pass2 pass3);
+    wall_s = Float.min pass1 warm;
     wall_cold_s = pass1;
-    wall_warm_s = Float.min pass2 pass3;
+    wall_warm_s = warm;
     candidates = r1.Search.funnel.Search.generated;
+    delta_inherited = inherited;
+    delta_checked = checked;
+    legality_memo = d l0 l1;
+    mat_memo = sum (d p0 p1) (d c0 c1);
+    trace_memo = d t0 t1;
     output;
     result = r1;
   }
@@ -102,34 +161,100 @@ let run_config ~name ~jobs config : outcome =
 let candidates_per_s (o : outcome) =
   if o.wall_s > 0.0 then float_of_int o.candidates /. o.wall_s else 0.0
 
-let json_of_outcome (o : outcome) : string =
+let json_of_outcome ~cores (o : outcome) : string =
+  let total = o.delta_inherited + o.delta_checked in
   Printf.sprintf
     "    {\"name\": %S, \"jobs\": %d, \"effective_jobs\": %d, \"wall_s\": %.6f, \
      \"wall_cold_s\": %.6f, \"wall_warm_s\": %.6f, \"candidates\": %d, \
-     \"candidates_per_s\": %.1f, \"reuse_classes\": %d, \"reuse_pruned\": %d, \
-     \"sim_shared\": %d}"
+     \"candidates_per_s\": %.1f, \"delta_inherit_rate\": %.3f, \
+     \"legality_memo_hit_rate\": %.3f, \"mat_memo_hit_rate\": %.3f, \
+     \"trace_memo_hit_rate\": %.3f, \"reuse_classes\": %d, \"reuse_pruned\": %d, \
+     \"sim_shared\": %d%s}"
     o.name o.jobs o.effective_jobs o.wall_s o.wall_cold_s o.wall_warm_s o.candidates
-    (candidates_per_s o) o.result.Search.funnel.Search.reuse_classes
-    o.result.Search.funnel.Search.reuse_pruned o.result.Search.funnel.Search.sim_shared
+    (candidates_per_s o)
+    (if total = 0 then 0.0 else float_of_int o.delta_inherited /. float_of_int total)
+    (memo_rate o.legality_memo) (memo_rate o.mat_memo) (memo_rate o.trace_memo)
+    o.result.Search.funnel.Search.reuse_classes o.result.Search.funnel.Search.reuse_pruned
+    o.result.Search.funnel.Search.sim_shared
+    (match warning_of o ~cores with
+    | Some w -> Printf.sprintf ", \"warning\": %S" w
+    | None -> "")
+
+(* ---- perf guard: compare against a committed report ---- *)
+
+let float_field k j =
+  match Json.member k j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let run_guard ~path ~cand_per_s ~winner ~misses =
+  let text =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let j =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "perf-guard: cannot parse %s: %s\n" path e;
+        exit 2
+  in
+  let committed_cps =
+    match float_field "candidates_per_sec" j with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "perf-guard: %s has no candidates_per_sec\n" path;
+        exit 2
+  in
+  let committed_winner = Option.value ~default:"?" (Json.string_field "winner" j) in
+  let committed_misses = Json.int_field "winner_misses" j in
+  let failures = ref [] in
+  if cand_per_s < 0.5 *. committed_cps then
+    failures :=
+      Printf.sprintf "throughput regressed: %.1f candidates/s < 50%% of committed %.1f"
+        cand_per_s committed_cps
+      :: !failures;
+  if not (String.equal winner committed_winner) then
+    failures :=
+      Printf.sprintf "winner drifted: committed %S, got %S" committed_winner winner :: !failures;
+  (match (committed_misses, misses) with
+  | Some c, Some m when c <> m ->
+      failures := Printf.sprintf "winner misses drifted: committed %d, got %d" c m :: !failures
+  | _ -> ());
+  match !failures with
+  | [] ->
+      Printf.printf "perf-guard PASS: %.1f candidates/s (committed %.1f), winner %S\n" cand_per_s
+        committed_cps winner
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "perf-guard FAIL: %s\n" f) (List.rev fs);
+      exit 1
 
 let () =
   let speclist =
     [
       ("--jobs", Arg.Set_int par_jobs, "N worker domains for the parallel configuration");
       ("--smoke", Arg.Set smoke, " tiny fixed-seed search with a pinned winner");
+      ( "--guard",
+        Arg.Set_string guard_path,
+        "FILE fail if throughput < 50% of FILE's committed candidates_per_sec or the winner \
+         changed" );
       ("-o", Arg.Set_string out_path, "FILE write the JSON report here (default: stdout)");
     ]
   in
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench_search [--jobs N] [--smoke] [-o FILE]";
+    "bench_search [--jobs N] [--smoke] [--guard FILE] [-o FILE]";
   let config = if !smoke then smoke_config else Search.default_config in
-  let outcomes =
-    [
-      run_config ~name:"jobs1" ~jobs:1 config;
-      run_config ~name:(Printf.sprintf "jobs%d" !par_jobs) ~jobs:!par_jobs config;
-    ]
-  in
+  let cores = Domain.recommended_domain_count () in
+  (* explicit sequencing: OCaml evaluates list elements right-to-left,
+     and the first config must be the one that pays the cold pass *)
+  let o_seq = run_config ~name:"jobs1" ~jobs:1 config in
+  let o_par = run_config ~name:(Printf.sprintf "jobs%d" !par_jobs) ~jobs:!par_jobs config in
+  let outcomes = [ o_seq; o_par ] in
   let baseline = List.hd outcomes and best = List.nth outcomes 1 in
   let equal = String.equal baseline.output best.output in
   let winner_line =
@@ -139,13 +264,20 @@ let () =
   in
   let winner_misses =
     match baseline.result.Search.winner with
-    | Some { Search.misses = Some m; _ } -> string_of_int m
-    | _ -> "null"
+    | Some { Search.misses = Some m; _ } -> Some m
+    | _ -> None
+  in
+  let warning =
+    match List.filter_map (warning_of ~cores) outcomes with
+    | [] -> ""
+    | w :: _ -> Printf.sprintf "  \"warning\": %S,\n" w
   in
   let json =
     Printf.sprintf
       "{\n\
       \  \"workload\": \"optimize kji cholesky (beam=%d depth=%d finalists=%d size=%d seed=%d)\",\n\
+      \  \"cores\": %d,\n\
+       %s\
       \  \"configs\": [\n\
        %s\n\
       \  ],\n\
@@ -158,9 +290,10 @@ let () =
       \  \"reuse_pruned\": %d\n\
        }\n"
       config.Search.beam config.Search.depth config.Search.finalists config.Search.size
-      config.Search.seed
-      (String.concat ",\n" (List.map json_of_outcome outcomes))
-      winner_line winner_misses
+      config.Search.seed cores warning
+      (String.concat ",\n" (List.map (json_of_outcome ~cores) outcomes))
+      winner_line
+      (match winner_misses with Some m -> string_of_int m | None -> "null")
       (match baseline.result.Search.source_misses with
       | Some m -> string_of_int m
       | None -> "null")
@@ -180,4 +313,8 @@ let () =
     exit 1);
   if !smoke && not (String.equal winner_line smoke_winner) then (
     Printf.eprintf "FAIL: smoke winner drifted: expected %S, got %S\n" smoke_winner winner_line;
-    exit 1)
+    exit 1);
+  if !guard_path <> "" then
+    run_guard ~path:!guard_path
+      ~cand_per_s:(candidates_per_s baseline)
+      ~winner:winner_line ~misses:winner_misses

@@ -125,6 +125,8 @@ let setup budget faults jobs no_cache stats : (bool, Diag.t list) result =
   Inl.Omega.set_cache_enabled (not no_cache);
   Reuse.set_memo_enabled (not no_cache);
   Search.set_trace_cache_enabled (not no_cache);
+  Inl.Legality.set_memo_enabled (not no_cache);
+  Search.set_mat_cache_enabled (not no_cache);
   match faults with
   | None ->
       Faults.install Faults.none;
@@ -164,9 +166,18 @@ let report_stats () =
      Printf.eprintf
        "trace memo: %d hits, %d misses, %d evictions, %d entries (hit rate %.1f%%)\n"
        ts.Memo.hits ts.Memo.misses ts.Memo.evictions ts.Memo.entries
-       (100.0 *. Memo.hit_rate ts)
+       (100.0 *. Memo.hit_rate ts);
+     let ls = Inl.Legality.memo_stats () in
+     Printf.eprintf
+       "legality memo: %d hits, %d misses, %d evictions, %d entries (hit rate %.1f%%)\n"
+       ls.Memo.hits ls.Memo.misses ls.Memo.evictions ls.Memo.entries
+       (100.0 *. Memo.hit_rate ls);
+     let ps = Search.mat_cache_stats () and cs = Search.completion_cache_stats () in
+     Printf.eprintf
+       "materialize memo: %d hits, %d misses (steps) + %d hits, %d misses (completion)\n"
+       ps.Memo.hits ps.Memo.misses cs.Memo.hits cs.Memo.misses
    end
-   else Printf.eprintf "reuse/trace memos: disabled (--no-cache)\n");
+   else Printf.eprintf "reuse/trace/legality/materialize memos: disabled (--no-cache)\n");
   List.iter
     (fun (phase, wall, calls) ->
       Printf.eprintf "phase %-10s %8.3f s (%d call%s)\n" phase wall calls
@@ -588,8 +599,18 @@ let write_file path contents =
 let optimize_cmd =
   let run common file beam depth finalists size seed out =
     with_context common file (fun ctx ->
+        (* beam/depth default to the kernel-size-aware widened values;
+           explicit --beam/--depth always win *)
+        let auto = Search.config_for ctx in
         let config =
-          { Search.default_config with beam; depth; finalists; size; seed }
+          {
+            auto with
+            Search.beam = Option.value beam ~default:auto.Search.beam;
+            depth = Option.value depth ~default:auto.Search.depth;
+            finalists;
+            size;
+            seed;
+          }
         in
         let o = Search.optimize ~config ctx in
         let f = o.Search.funnel in
@@ -635,12 +656,16 @@ let optimize_cmd =
             Diag.exit_code o.Search.diags)
   in
   let beam =
-    Arg.(value & opt int Search.default_config.Search.beam
-         & info [ "beam" ] ~docv:"B" ~doc:"Beam width of the move search.")
+    Arg.(value & opt (some int) None
+         & info [ "beam" ] ~docv:"B"
+             ~doc:"Beam width of the move search (default: 8, widened to 12 on kernels with \
+                   at least 8 layout columns).")
   in
   let depth =
-    Arg.(value & opt int Search.default_config.Search.depth
-         & info [ "depth" ] ~docv:"D" ~doc:"Move generations after the completion seeds.")
+    Arg.(value & opt (some int) None
+         & info [ "depth" ] ~docv:"D"
+             ~doc:"Move generations after the completion seeds (default: 3, widened to 4 on \
+                   kernels with at least 8 layout columns).")
   in
   let finalists =
     Arg.(value & opt int Search.default_config.Search.finalists

@@ -25,6 +25,13 @@ type verdict =
 val transformed_vector : Mat.t -> Dep.t -> Interval.t array
 (** [M . d] by exact interval arithmetic, indexed by new positions. *)
 
+val dep_id : Dep.t -> string
+(** Canonical exact rendering of one dependence (endpoints, array, kind,
+    level, approximation flag, and the interval vector with exact
+    bounds — unlike {!Dep.pp}, which abbreviates intervals to direction
+    symbols).  Used as the dependence component of process-wide memo
+    keys. *)
+
 type cache
 (** Memo of per-dependence verdicts, keyed on exactly what a verdict
     reads: the dependence, the new positions of its common loops, the
@@ -42,3 +49,63 @@ val check : ?jobs:int -> ?cache:cache -> Layout.t -> Mat.t -> Dep.t list -> verd
     stops classifying at it). *)
 
 val is_legal : ?jobs:int -> ?cache:cache -> Layout.t -> Mat.t -> Dep.t list -> bool
+
+(** {1 Incremental (delta) checking}
+
+    A beam search extends a known-legal parent state by one move.  The
+    verdict of one dependence is a pure function of (a) the candidate's
+    rows at the new positions of the dependence's common loops, taken in
+    the transformed outer-to-inner order, and (b) for cross-statement
+    dependences, the transformed syntactic order of its endpoints.  So
+    when every common loop of a dependence sits at the same new position
+    with the same row in both parent and child, and its endpoints keep
+    the same transformed syntactic order, the child's verdict provably
+    equals the parent's and is inherited without re-deriving it.  Anything short of
+    that proof falls back to the full classification (per-search cache →
+    process-wide memo → interval arithmetic), so the delta never weakens
+    the check — it only skips recomputing verdicts whose inputs are
+    bit-identical. *)
+
+type env
+(** Per-(program, dependence-set) precomputation shared by every
+    candidate of a search: canonical dependence ids for the process-wide
+    memo, common old-loop positions and untransformed statement paths
+    per dependence. *)
+
+val make_env : Layout.t -> Dep.t list -> env
+
+type summary
+(** What the delta test compares between parent and child: per old loop
+    position its new position and matrix row, the per-dependence
+    transformed endpoint order (with the statement permutation it was
+    derived from, so equal permutations share the array), and the
+    per-dependence verdicts.  Produced only for [Legal] candidates
+    (only those are ever extended). *)
+
+val check_env : ?cache:cache -> ?parent:summary -> env -> Mat.t -> verdict * summary option
+(** Like {!check} (sequential, first offender in dependence order), but
+    (i) consults the process-wide verdict memo behind the per-search
+    [cache], and (ii) given the [parent] summary, inherits every verdict
+    whose inputs are unchanged by the move. *)
+
+(** {1 Process-wide verdict memo}
+
+    Two-generation table mirroring the Omega projection cache, keyed on
+    a canonical string of exactly what a verdict reads (dependence id,
+    common-loop rows outer-to-inner, transformed endpoint order).  It
+    survives across searches and passes, so a re-search of a known
+    program classifies dependences by lookup. *)
+
+val set_memo_enabled : bool -> unit
+val memo_enabled : unit -> bool
+
+val memo_stats : unit -> Inl_diag.Memo.stats
+(** Hits/misses/evictions/entries of the process-wide verdict memo. *)
+
+val clear_memo : unit -> unit
+
+val delta_stats : unit -> int * int
+(** [(inherited, checked)] verdict counts over all {!check_env} calls
+    since the last {!reset_delta_stats}. *)
+
+val reset_delta_stats : unit -> unit

@@ -70,17 +70,23 @@ let step_of_spec ~(kind : string) (spec : string) : (step, string) result =
 
 let step_error fmt = Diag.errorf ~code:"T301" ~phase:Diag.Legality fmt
 
+let extend (layout : Layout.t) (acc : Mat.t) (step : step) :
+    (Mat.t * Layout.t, Diag.t list) result =
+  match build layout step with
+  | exception (Not_found | Failure _ | Invalid_argument _) ->
+      Error [ step_error "step '%a' failed against the current program shape" pp_step step ]
+  | m -> (
+      let acc' = Mat.mul m acc in
+      match Blockstruct.infer layout m with
+      | Ok st -> Ok (acc', st.Blockstruct.new_layout)
+      | Error msg -> Error [ step_error "step '%a': %s" pp_step step msg ])
+
 let compose (layout : Layout.t) (steps : step list) : (Mat.t, Diag.t list) result =
   let rec go acc layout = function
     | [] -> Ok acc
     | step :: rest -> (
-        match build layout step with
-        | exception (Not_found | Failure _ | Invalid_argument _) ->
-            Error [ step_error "step '%a' failed against the current program shape" pp_step step ]
-        | m -> (
-            let acc' = Mat.mul m acc in
-            match Blockstruct.infer layout m with
-            | Ok st -> go acc' st.Blockstruct.new_layout rest
-            | Error msg -> Error [ step_error "step '%a': %s" pp_step step msg ]))
+        match extend layout acc step with
+        | Ok (acc', layout') -> go acc' layout' rest
+        | Error _ as e -> e)
   in
   go (Mat.identity (Layout.size layout)) layout steps

@@ -30,6 +30,15 @@ val step_of_spec : kind:string -> string -> (step, string) result
     the string its argument, e.g. [step_of_spec ~kind:"skew" "J,I,1"].
     The error is a human-readable message naming the bad argument. *)
 
+val extend : Layout.t -> Mat.t -> step -> (Mat.t * Layout.t, Diag.t list) result
+(** One composition iteration: build [step] against [layout], multiply
+    it into the accumulated matrix, and advance the layout through
+    {!Blockstruct}.  {!compose} is a fold of this; exposing the single
+    iteration lets callers that share step prefixes (the autotuner's
+    beam, which extends each parent recipe by one move) memoize prefix
+    results and pay for exactly one new step per candidate while
+    computing bit-identical matrices. *)
+
 val compose : Layout.t -> step list -> (Mat.t, Diag.t list) result
 (** The composite matrix over the original layout, or error diagnostics
     (code [T301]) naming the failing step — builder exceptions are caught

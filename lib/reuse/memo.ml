@@ -1,90 +1,4 @@
-type stats = { hits : int; misses : int; evictions : int; entries : int }
-
-type 'a t = {
-  mutex : Mutex.t;
-  max_entries : int;
-  mutable young : (string, 'a) Hashtbl.t;
-  mutable old : (string, 'a) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable on : bool;
-}
-
-let create ?(max_entries = 4096) () =
-  {
-    mutex = Mutex.create ();
-    max_entries = max 1 max_entries;
-    young = Hashtbl.create 64;
-    old = Hashtbl.create 64;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    on = true;
-  }
-
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
-
-let set_enabled t b = locked t (fun () -> t.on <- b)
-let enabled t = locked t (fun () -> t.on)
-
-(* Inserts (fresh adds and old-to-young promotions alike) fill the young
-   generation; when it is full the old generation is retired wholesale. *)
-let insert t key v =
-  Hashtbl.replace t.young key v;
-  if Hashtbl.length t.young >= t.max_entries then begin
-    t.evictions <- t.evictions + Hashtbl.length t.old;
-    t.old <- t.young;
-    t.young <- Hashtbl.create 64
-  end
-
-let find t key =
-  locked t (fun () ->
-      if not t.on then None
-      else
-        match Hashtbl.find_opt t.young key with
-        | Some v ->
-            t.hits <- t.hits + 1;
-            Some v
-        | None -> (
-            match Hashtbl.find_opt t.old key with
-            | Some v ->
-                t.hits <- t.hits + 1;
-                insert t key v;
-                Some v
-            | None ->
-                t.misses <- t.misses + 1;
-                None))
-
-let add t key v = locked t (fun () -> if t.on then insert t key v)
-
-let memo t key f =
-  match find t key with
-  | Some v -> v
-  | None ->
-      let v = f () in
-      add t key v;
-      v
-
-let clear t =
-  locked t (fun () ->
-      Hashtbl.reset t.young;
-      Hashtbl.reset t.old;
-      t.hits <- 0;
-      t.misses <- 0;
-      t.evictions <- 0)
-
-let stats t =
-  locked t (fun () ->
-      {
-        hits = t.hits;
-        misses = t.misses;
-        evictions = t.evictions;
-        entries = Hashtbl.length t.young + Hashtbl.length t.old;
-      })
-
-let hit_rate (s : stats) =
-  let lookups = s.hits + s.misses in
-  if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups
+(* The generic two-generation memo now lives in Inl_diag (so the core
+   legality layer can share it); this alias keeps the established
+   Inl_reuse.Memo name working for existing callers. *)
+include Inl_diag.Memo

@@ -244,6 +244,52 @@ let score (t : t) : float =
 let static_score ?line_elems (ctx : Inl.context) (st : Inl.Blockstruct.t) : float =
   score (signature ?line_elems ctx st)
 
+(* ---- the depth-weighted score ----
+
+   [score] reads only the innermost class of each reference, which makes
+   it blind to outer-dimension reuse: jki and kji matrix multiply tie
+   (both stream one reference innermost) even though jki's streaming
+   reference is spatial one loop further out while kji's is not.  The
+   weighted cost keeps the innermost class authoritative and lets an
+   outer dimension's reuse reduce the charge with a geometric discount
+   [gamma^distance]: a class [c] at distance [q] from the innermost
+   position contributes cost [1 - (1 - cls_cost c) * gamma^q], and the
+   reference is charged the cheapest dimension.  At [q = 0] this is
+   exactly [cls_cost c], so references whose best class is innermost —
+   every reference the original score ranked — are charged identically;
+   only ties in the innermost-only model can split. *)
+
+let gamma = 0.5
+
+let ref_cost_weighted ~line_elems (s : stmt_sig) (r : ref_sig) : float =
+  if s.depth = 0 then 0.0
+  else begin
+    let best = ref infinity in
+    Array.iteri
+      (fun p c ->
+        let discount = gamma ** float_of_int (s.depth - 1 - p) in
+        let cost = 1.0 -. ((1.0 -. cls_cost ~line_elems c) *. discount) in
+        if cost < !best then best := cost)
+      r.classes;
+    if !best = infinity then 1.0 else !best
+  end
+
+let weighted_score (t : t) : float =
+  List.fold_left
+    (fun acc s ->
+      if s.depth = 0 then acc
+      else
+        let weight = nominal_trip ** float_of_int s.depth in
+        acc
+        +. weight
+           *. List.fold_left
+                (fun a r -> a +. ref_cost_weighted ~line_elems:t.line_elems s r)
+                0.0 s.refs)
+    0.0 t.stmts
+
+let weighted_static_score ?line_elems (ctx : Inl.context) (st : Inl.Blockstruct.t) : float =
+  weighted_score (signature ?line_elems ctx st)
+
 let unknown_refs (t : t) : int =
   List.fold_left
     (fun acc s ->
@@ -256,7 +302,7 @@ let truncated_stmts (t : t) : int =
 
 (* ---- the analyze report ---- *)
 
-type report = { signature : t; score : float; diags : Diag.t list }
+type report = { signature : t; score : float; weighted : float; diags : Diag.t list }
 
 let uniq_texts refs = List.sort_uniq String.compare (List.map (fun r -> r.text) refs)
 
@@ -314,7 +360,7 @@ let analyze ?line_elems ?work_budget (ctx : Inl.context) (st : Inl.Blockstruct.t
         "reuse work budget exhausted: %d of %d statement(s) unclassified and scored \
          pessimistically (raise --work or --budget)"
         n (List.length sg.stmts));
-  { signature = sg; score = score sg; diags = List.rev !diags }
+  { signature = sg; score = score sg; weighted = weighted_score sg; diags = List.rev !diags }
 
 let cls_to_string = function
   | Temporal -> "temporal"
@@ -350,4 +396,7 @@ let render (r : report) : string =
         s.refs)
     r.signature.stmts;
   Buffer.add_string b (Printf.sprintf "static score: %.3f (lower is better)\n" r.score);
+  Buffer.add_string b
+    (Printf.sprintf "weighted score: %.3f (outer-dimension reuse discounted by %g per level)\n"
+       r.weighted gamma);
   Buffer.contents b

@@ -99,6 +99,24 @@ val static_score : ?line_elems:int -> Inl.context -> Inl.Blockstruct.t -> float
 (** [score] of [signature] — the drop-in replacement for the search's
     original static cost tier. *)
 
+val weighted_score : t -> float
+(** Depth-weighted variant of {!score}: each reference is charged its
+    cheapest dimension, where a class at distance [q] outward from the
+    innermost position costs [1 - (1 - cls_cost) * 0.5^q].  At [q = 0]
+    this equals the innermost charge, and the discount halves per level
+    outward, so a reference's weighted charge never exceeds its
+    innermost charge.  References whose best reuse sits in an outer
+    dimension get cheaper — which is the point: it closes the
+    documented jki blind spot (middle-loop spatial reuse the
+    innermost-only model cannot see), at the cost that orderings under
+    {!score} are not always preserved when references differ in where
+    their reuse lives.  [test/test_reuse.ml] keeps the weighting honest
+    against the cache simulator.  Deterministic function of
+    the signature, same units as {!score}, lower is better. *)
+
+val weighted_static_score : ?line_elems:int -> Inl.context -> Inl.Blockstruct.t -> float
+(** [weighted_score] of [signature] — the search's ranking tier. *)
+
 val unknown_refs : t -> int
 (** References whose innermost class is {!Unknown} — the ones charged
     the pessimistic cost [1] by {!score}.  Non-zero means the score is
@@ -115,7 +133,7 @@ val clear_memo : unit -> unit
 
 (** {2 The [inltool analyze --reuse] report} *)
 
-type report = { signature : t; score : float; diags : Diag.t list }
+type report = { signature : t; score : float; weighted : float; diags : Diag.t list }
 (** [diags] follow the {!Inl_diag} conventions (phase [Analysis]):
     warnings [U101] (a statement's innermost loop carries no temporal or
     spatial reuse for some reference — streaming access), [U102] (an

@@ -39,6 +39,16 @@ let default_config =
     sim_max_steps = 4_000_000;
   }
 
+(* Incremental evaluation made candidates cheap enough to spend the
+   reclaimed time on coverage: kernels with at least [widen_threshold]
+   loop-plus-statement columns get a wider beam and one more move
+   generation by default (explicit --beam/--depth always win). *)
+let widen_threshold = 8
+
+let config_for ?(base = default_config) (ctx : Inl.context) : config =
+  if Layout.size ctx.Inl.layout >= widen_threshold then { base with beam = 12; depth = 4 }
+  else base
+
 type entry = {
   rank : int;
   recipe : Tf.t;
@@ -97,6 +107,9 @@ type state = {
   s_sig_key : string;  (** canonical reuse-signature key (Inl_reuse) *)
   s_unknown_refs : int;  (** references scored pessimistically (singular T_S) *)
   s_extendable : bool;
+  s_summary : Inl.Legality.summary option;
+      (** per-dependence verdicts of this (legal) state, inherited by its
+          children wherever a move leaves a dependence's inputs unchanged *)
 }
 
 (* Worker-side evaluation result; pure linear algebra and interval
@@ -106,20 +119,24 @@ type eval = Emat_failed of string | Eillegal of string | Elegal of state
 let compare_static a b =
   match Float.compare a.s_score b.s_score with 0 -> compare a.s_key b.s_key | c -> c
 
-let evaluate (ctx : Inl.context) (lcache : Inl.Legality.cache) ~extendable (recipe : Tf.t)
-    ~(materialize : Tf.t -> (Mat.t, string) result) : eval =
+let evaluate (env : Inl.Legality.env) (lcache : Inl.Legality.cache) ~extendable ?parent
+    (recipe : Tf.t) ~(materialize : Tf.t -> (Mat.t, string) result)
+    ~(signature : Inl.Blockstruct.t -> Mat.t -> Reuse.t) : eval =
   match materialize recipe with
   | Error msg -> Emat_failed msg
   | exception e -> Emat_failed (Printexc.to_string e)
   | Ok m -> (
-      match Inl.Legality.check ~cache:lcache ctx.Inl.layout m ctx.Inl.deps with
-      | Inl.Legality.Illegal reason -> Eillegal reason
-      | Inl.Legality.Legal { structure; unsatisfied } ->
+      (* delta legality: verdicts whose inputs the move left untouched
+         are inherited from the parent; the rest re-classify through the
+         per-search cache and the process-wide verdict memo *)
+      match Inl.Legality.check_env ~cache:lcache ?parent env m with
+      | Inl.Legality.Illegal reason, _ -> Eillegal reason
+      | Inl.Legality.Legal { structure; unsatisfied }, summary ->
           (* the reuse signature is memoized process-wide on canonical
              access/transformation matrices, so locality-equivalent
              candidates — and re-searches of the same program — score by
              table lookup from any worker domain *)
-          let sg = Reuse.signature ctx structure in
+          let sg = signature structure m in
           Elegal
             {
               s_recipe = recipe;
@@ -127,11 +144,79 @@ let evaluate (ctx : Inl.context) (lcache : Inl.Legality.cache) ~extendable (reci
               s_matrix = m;
               s_structure = structure;
               s_unsatisfied = unsatisfied;
-              s_score = Reuse.score sg;
+              s_score = Reuse.weighted_score sg;
               s_sig_key = Reuse.key sg;
               s_unknown_refs = Reuse.unknown_refs sg;
               s_extendable = extendable;
+              s_summary = summary;
             })
+
+(* ---- materialization memo ----
+
+   Process-wide, mirroring the projection cache.  Step recipes are
+   materialized incrementally: [pipe_memo] holds, per (program, step
+   prefix), the accumulated matrix and intermediate layout of
+   {!Inl.Pipeline}'s left-to-right composition, so a child candidate —
+   its parent's recipe plus one move — looks its prefix up and pays for
+   exactly one step build/multiply/infer.  The chain replicates
+   [Tf.materialize]'s computation step for step, so the matrices are
+   bit-identical to a cold materialization (the replay contract of
+   [inltool apply] depends on this).  Completion recipes memoize the
+   full completion result keyed on the exact dependence set.  Errors are
+   memoized too: a prefix that fails against the program shape fails for
+   every candidate sharing it. *)
+
+let pipe_memo : (Mat.t * Layout.t, string) result Memo.t = Memo.create ~max_entries:8192 ()
+let complete_memo : (Mat.t, string) result Memo.t = Memo.create ~max_entries:1024 ()
+
+(* Front tier of the reuse-signature memo: keyed on the raw candidate
+   matrix (cheap to render) instead of the canonical per-statement rows
+   (whose computation is most of a signature lookup's cost).  Misses fall
+   through to Inl_reuse's canonical memo, which still collapses
+   locality-equivalent matrices. *)
+let sig_memo : Reuse.t Memo.t = Memo.create ~max_entries:4096 ()
+
+let set_mat_cache_enabled b =
+  Memo.set_enabled pipe_memo b;
+  Memo.set_enabled complete_memo b;
+  Memo.set_enabled sig_memo b
+
+let mat_cache_enabled () = Memo.enabled pipe_memo
+let mat_cache_stats () = Memo.stats pipe_memo
+let completion_cache_stats () = Memo.stats complete_memo
+
+let steps_key steps =
+  String.concat ";" (List.map (fun (kind, spec) -> kind ^ " " ^ spec) steps)
+
+(* [init @ [last]] split; steps lists are short (one per generation). *)
+let split_last steps =
+  match List.rev steps with
+  | [] -> invalid_arg "split_last"
+  | last :: rev_init -> (List.rev rev_init, last)
+
+let materialize_steps ~prog_key (ctx : Inl.context) (steps : (string * string) list) :
+    (Mat.t, string) result =
+  let layout0 = ctx.Inl.layout in
+  let rec prefix steps : (Mat.t * Layout.t, string) result =
+    match steps with
+    | [] -> Ok (Mat.identity (Layout.size layout0), layout0)
+    | _ ->
+        Memo.memo pipe_memo (Printf.sprintf "pipe|%s|%s" prog_key (steps_key steps))
+          (fun () ->
+            let init, (kind, spec) = split_last steps in
+            match prefix init with
+            | Error _ as e -> e
+            | Ok (acc, layout) -> (
+                match Inl.Pipeline.step_of_spec ~kind spec with
+                | Error e -> Error e
+                | Ok step -> (
+                    match Inl.Pipeline.extend layout acc step with
+                    | Ok r -> Ok r
+                    | Error ds -> Error (Diag.list_to_string ds))))
+  in
+  (* copy: the memoized matrix is shared by every candidate extending
+     this prefix, and stored state matrices must be independent *)
+  Result.map (fun (m, _) -> Mat.copy m) (prefix steps)
 
 (* ---- trace tier ---- *)
 
@@ -187,7 +272,7 @@ let arrays_of (config : config) (prog : Ast.program) ~params : (string * int lis
             Hashtbl.add dims r.Ast.array (Array.make (List.length r.Ast.index) 0);
             order := r.Ast.array :: !order
           end)
-        (Cost.collect_refs s))
+        (Reuse.collect_refs s))
     (Ast.stmts_with_paths prog);
   let fallback () =
     List.rev_map
@@ -243,6 +328,11 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   and sim_shared = ref 0
   and sim_skipped = ref 0 in
   let memo_hits_before = (Reuse.memo_stats ()).Memo.hits in
+  let lmemo_hits_before = (Inl.Legality.memo_stats ()).Memo.hits in
+  let mat_hits_before =
+    (mat_cache_stats ()).Memo.hits + (completion_cache_stats ()).Memo.hits
+  in
+  let delta_inherited_before, delta_checked_before = Inl.Legality.delta_stats () in
   let seen : (int list list, unit) Hashtbl.t = Hashtbl.create 64 in
   (* Reuse-signature equivalence classes of this search's legal
      candidates: the first member of a class pays for the scoring, every
@@ -286,7 +376,38 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
             end)
       evals
   in
-  let materialize recipe = Tf.materialize ctx recipe in
+  (* Keys identifying this program for the process-wide materialization
+     memos; computed once per search.  The completion key also renders
+     the exact dependence set — under a different budget the same source
+     can analyze to different (approximate) dependences, and completion
+     reads them. *)
+  let prog_key = Inl.Pp.program_to_string ctx.Inl.program in
+  let deps_key = String.concat "&" (List.map Inl.Legality.dep_id ctx.Inl.deps) in
+  let materialize (recipe : Tf.t) : (Mat.t, string) result =
+    if recipe.Tf.edits <> [] then Tf.materialize ctx recipe
+    else
+      match (recipe.Tf.partial, recipe.Tf.steps) with
+      | [], [] -> Tf.materialize ctx recipe
+      | _ :: _, _ :: _ -> Tf.materialize ctx recipe (* the mixed-recipe error path *)
+      | _ :: _, [] ->
+          Result.map Mat.copy
+            (Memo.memo complete_memo
+               (Printf.sprintf "complete|%s|%s|%s" prog_key deps_key (Tf.to_string recipe))
+               (fun () -> Tf.materialize ctx recipe))
+      | [], steps -> materialize_steps ~prog_key ctx steps
+  in
+  let matrix_key m =
+    String.concat "/"
+      (List.map
+         (fun row -> String.concat "," (List.map string_of_int row))
+         (Mat.to_int_lists m))
+  in
+  let signature structure m =
+    Memo.memo sig_memo
+      (Printf.sprintf "sig|%s|%s" prog_key (matrix_key m))
+      (fun () -> Reuse.signature ctx structure)
+  in
+  let env = Inl.Legality.make_env ctx.Inl.layout ctx.Inl.deps in
   (* Generation 0: the identity, then the completion-derived seeds.
      Completion itself fans out over the Pool, so seeds materialize on
      the calling domain. *)
@@ -303,7 +424,8 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   let gen0 =
     collect
       (List.map
-         (fun (recipe, extendable) -> evaluate ctx lcache ~extendable recipe ~materialize)
+         (fun (recipe, extendable) ->
+           evaluate env lcache ~extendable recipe ~materialize ~signature)
          ((identity_recipe, true) :: List.map (fun r -> (r, false)) seed_recipes))
   in
   let beam = ref (List.to_seq (List.sort compare_static gen0) |> Seq.take config.beam |> List.of_seq) in
@@ -313,6 +435,14 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
      for gen = 1 to config.depth do
        Watchdog.poll ();
        let rng = Rng.case ~seed:config.seed ~index:gen in
+       (* One fan-out unit is a (parent, chunk-of-child-recipes) pair:
+          the chunk amortizes the per-task cost (the parent's prefix
+          matrix is one memo lookup away, its verdict summary one
+          pointer) across ~chunk_size candidates instead of paying it
+          per candidate.  Chunks are built and concatenated in beam
+          order, so the eval list is byte-identical to the old
+          one-task-per-candidate fan-out at any --jobs. *)
+       let chunk_size = 16 in
        let expansions =
          List.concat_map
            (fun st ->
@@ -325,16 +455,33 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
                  if List.length moves <= config.max_moves then moves
                  else Rng.shuffle rng moves |> List.filteri (fun i _ -> i < config.max_moves)
                in
-               List.map
-                 (fun mv -> { Tf.steps = st.s_recipe.Tf.steps @ [ mv ]; partial = []; edits = [] })
-                 moves)
+               let recipes =
+                 List.map
+                   (fun mv ->
+                     { Tf.steps = st.s_recipe.Tf.steps @ [ mv ]; partial = []; edits = [] })
+                   moves
+               in
+               let rec chunk = function
+                 | [] -> []
+                 | rs ->
+                     let taken = List.filteri (fun i _ -> i < chunk_size) rs in
+                     let rest = List.filteri (fun i _ -> i >= chunk_size) rs in
+                     (st, taken) :: chunk rest
+               in
+               chunk recipes)
            !beam
        in
        if expansions = [] then raise Exit;
        let evals =
          Pool.map
-           (fun recipe -> evaluate ctx lcache ~extendable:true recipe ~materialize)
+           (fun (parent, recipes) ->
+             List.map
+               (fun recipe ->
+                 evaluate env lcache ~extendable:true ?parent:parent.s_summary recipe
+                   ~materialize ~signature)
+               recipes)
            expansions
+         |> List.concat
        in
        let fresh = collect evals in
        (* the next beam draws from everything alive, so a strong seed or
@@ -506,6 +653,14 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   Stats.count "search.reuse.classes" funnel.reuse_classes;
   Stats.count "search.reuse.pruned" funnel.reuse_pruned;
   Stats.count "search.reuse.memo_hits" ((Reuse.memo_stats ()).Memo.hits - memo_hits_before);
+  (let inh, chk = Inl.Legality.delta_stats () in
+   Stats.count "search.legality.delta-inherited" (inh - delta_inherited_before);
+   Stats.count "search.legality.delta-checked" (chk - delta_checked_before));
+  Stats.count "search.legality.memo_hits"
+    ((Inl.Legality.memo_stats ()).Memo.hits - lmemo_hits_before);
+  Stats.count "search.mat.memo_hits"
+    ((mat_cache_stats ()).Memo.hits + (completion_cache_stats ()).Memo.hits
+   - mat_hits_before);
   Stats.count "search.score-degraded" !degraded_scores;
   Stats.count "search.simulated" funnel.simulated;
   Stats.count "search.sim-shared" funnel.sim_shared;

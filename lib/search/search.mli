@@ -8,17 +8,21 @@
     generation 0 holds the identity and the completion-derived seeds
     (one per signed loop column, via {!Inl.Completion.seed_rows}), and
     each later generation extends every beam survivor by one bounded
-    move from {!Moves.enumerate}.  Candidates are pruned by the exact
-    legality test (Definition 6) through a shared
-    {!Inl.Legality.cache}, so across the thousands of candidate matrices
-    — which differ in few rows — most per-dependence verdicts are table
-    lookups; an illegal candidate is dropped and never extended, cutting
-    its whole subtree.
+    move from {!Moves.enumerate}.  Evaluation is incremental end-to-end:
+    step recipes materialize through a process-wide prefix memo (one
+    composition step per candidate), and candidates are pruned by the
+    exact legality test (Definition 6) run in delta mode
+    ({!Inl.Legality.check_env}) — verdicts whose inputs the move left
+    unchanged are inherited from the parent state, the rest resolve
+    through a shared per-search {!Inl.Legality.cache} backed by the
+    process-wide verdict memo.  An illegal candidate is dropped and
+    never extended, cutting its whole subtree.
 
-    Survivors are ranked by the static tier ({!Cost.static_score}, the
-    reuse-vocabulary score of {!Inl_reuse} — candidates in the same
-    signature equivalence class are scored once through a process-wide
-    memo); the top [finalists] are code-generated and scored by the
+    Survivors are ranked by the static tier
+    ({!Inl_reuse.Reuse.weighted_score}, the depth-weighted
+    reuse-vocabulary score — candidates in the same signature
+    equivalence class are scored once through a process-wide memo); the
+    top [finalists] are code-generated and scored by the
     {!Inl_cachesim} trace tier at a configurable problem size, with one
     simulation per finalist signature class (the others inherit the
     representative's miss counts).  The winner is gated through
@@ -53,6 +57,14 @@ type config = {
 }
 
 val default_config : config
+
+val config_for : ?base:config -> Inl.context -> config
+(** [base] (default {!default_config}) widened for the kernel at hand:
+    programs with at least 8 layout columns (loops + statements) get
+    [beam = 12] and [depth = 4] — incremental evaluation made candidates
+    cheap enough to spend the reclaimed time on coverage where the
+    search space is big enough to need it.  The CLI uses this when
+    [--beam]/[--depth] are not given explicitly. *)
 
 type entry = {
   rank : int;  (** 1-based, in final ranking order *)
@@ -120,3 +132,18 @@ val trace_cache_enabled : unit -> bool
 
 val trace_cache_stats : unit -> Inl_reuse.Memo.stats
 (** Counters of the simulation memo, for [--stats]. *)
+
+val set_mat_cache_enabled : bool -> unit
+(** Enable/disable the process-wide materialization memos: the
+    step-prefix pipeline memo (one composition step per candidate
+    instead of the whole chain) and the completion-result memo.  Both
+    compute bit-identical matrices either way — [--no-cache] turns them
+    off with the other caches. *)
+
+val mat_cache_enabled : unit -> bool
+
+val mat_cache_stats : unit -> Inl_reuse.Memo.stats
+(** Counters of the step-prefix pipeline memo. *)
+
+val completion_cache_stats : unit -> Inl_reuse.Memo.stats
+(** Counters of the completion-result memo. *)

@@ -42,6 +42,7 @@ make the exit code 2:
     read  A(I2,K)        K:spatial(1)  J:temporal  I2:none
     read  A(J,K)         K:spatial(1)  J:none  I2:temporal
   static score: 12832.000 (lower is better)
+  weighted score: 6976.000 (outer-dimension reuse discounted by 0.5 per level)
   [2]
 
 The same program under the left-looking completion row the autotuner
@@ -67,6 +68,7 @@ pessimistically, never silently:
     read  A(I2,K)        K:temporal  J:none  I2:spatial(1)
     read  A(J,K)         K:none  J:temporal  I2:spatial(1)
   static score: 1824.000 (lower is better)
+  weighted score: 1824.000 (outer-dimension reuse discounted by 0.5 per level)
   [2]
 
 A drained work budget degrades, with a typed warning and the
@@ -93,6 +95,7 @@ is clean — exit 0, no findings:
     write B(I,J)         I:none  J:spatial(1)
     read  B(I,J)         I:none  J:spatial(1)
   static score: 64.000 (lower is better)
+  weighted score: 64.000 (outer-dimension reuse discounted by 0.5 per level)
 
 Driver errors are typed: no analysis selected, an illegal recipe:
 

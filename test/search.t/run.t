@@ -34,8 +34,8 @@ pessimistically, which the search reports once as a typed warning:
   source: accesses=3112 misses=30 miss-rate=0.96%
   rank      static    misses   miss%  recipe
      1    1824.000        30   0.96%  complete row=[0,0,0,0,1,0,0]
-     2    5664.000        30   0.96%  interchange J,I2
-     3    5664.000        30   0.96%  interchange J,I2; align S2,I,-1
+     2    3392.000        30   0.96%  interchange J,I2
+     3    3392.000        30   0.96%  interchange J,I2; align S2,I,-1
   
   winner: complete row=[0,0,0,0,1,0,0]
   wrote smoke.loop and smoke.tf
@@ -104,10 +104,14 @@ only the single-worker run is byte-reproducible):
   $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --stats --jobs 1 -o st 2>&1 >/dev/null | grep counter
   counter search.duplicate               25
   counter search.generated              173
+  counter search.legality.delta-checked      593
+  counter search.legality.delta-inherited      908
+  counter search.legality.memo_hits        0
+  counter search.mat.memo_hits          123
   counter search.materialize-failed        6
   counter search.pruned-illegal          80
   counter search.reuse.classes           15
-  counter search.reuse.memo_hits         62
+  counter search.reuse.memo_hits         37
   counter search.reuse.pruned            47
   counter search.score-degraded           1
   counter search.scored-static           62

@@ -168,6 +168,37 @@ let test_ranking_matches_cachesim () =
   Alcotest.(check bool) "simulator separates variants" true
     (List.fold_left min max_int misses < List.fold_left max min_int misses)
 
+let test_weighted_fixes_jki () =
+  (* the documented blind spot of the innermost-only model, now fixed:
+     at N=48 a full column of lines fits in the 8 KiB cache, so jki's
+     middle-loop spatial reuse on A(I,J) is real — the simulator scores
+     jki far below kji — yet both orders have identical innermost
+     classes, so {!Reuse.score} ties them.  The depth-weighted score
+     sees the outer-dimension reuse and breaks the tie the same way the
+     simulator does. *)
+  let scores src =
+    let ctx = Inl.analyze (parse src) in
+    let n = Layout.size ctx.Inl.layout in
+    let st = structure_of ctx (Mat.identity n) in
+    (Reuse.static_score ctx st, Reuse.weighted_static_score ctx st, ctx)
+  in
+  let base_jki, weighted_jki, ctx_jki = scores Px.cholesky_jki in
+  let base_kji, weighted_kji, ctx_kji = scores Px.cholesky_kji in
+  Alcotest.(check (float 0.0)) "innermost-only model ties jki and kji" base_kji base_jki;
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted jki %.0f < weighted kji %.0f" weighted_jki weighted_kji)
+    true (weighted_jki < weighted_kji);
+  let n = 48 in
+  let cache = Cachesim.set_associative ~capacity_bytes:8192 ~line_bytes:64 ~assoc:2 in
+  let misses ctx =
+    (Cachesim.simulate_program cache [ ("A", [ n; n ]) ] ctx.Inl.program ~params:[ ("N", n) ])
+      .Cachesim.misses
+  in
+  let m_jki = misses ctx_jki and m_kji = misses ctx_kji in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulator agrees: jki %d < kji %d misses" m_jki m_kji)
+    true (m_jki < m_kji)
+
 let test_by_array_attribution () =
   (* ground truth for the spatial/streaming distinction: in one nest,
      row-major B(I,J) rides its cache lines while C(J,I) strides
@@ -239,6 +270,38 @@ let test_signature_memo () =
   Alcotest.(check int) "budgeted signatures are not stored" entries
     ((Reuse.memo_stats ()).Memo.entries)
 
+let test_memo_two_generations () =
+  (* the O(1) retirement discipline: inserts fill the young generation;
+     filling it retires the old one wholesale, so an entry that goes
+     unused for two generations is evicted while anything hit in the
+     meantime is promoted and survives *)
+  let t : int Memo.t = Memo.create ~max_entries:2 () in
+  Memo.add t "a" 1;
+  Memo.add t "b" 2 (* young full -> {a,b} becomes the old generation *);
+  Alcotest.(check (option int)) "old-generation hit" (Some 1) (Memo.find t "a");
+  (* the hit promoted "a" into the young generation *)
+  Memo.add t "c" 3 (* young full again -> retires {a,b}: 2 evictions *);
+  Memo.add t "d" 4;
+  Memo.add t "e" 5 (* retires {a,c}: 2 more *);
+  Alcotest.(check (option int)) "unused for two generations: evicted" None (Memo.find t "b");
+  Alcotest.(check (option int)) "promotion did not outlive disuse" None (Memo.find t "a");
+  Alcotest.(check (option int)) "recent entry survives" (Some 4) (Memo.find t "d");
+  Alcotest.(check int) "evictions counted" 4 (Memo.stats t).Memo.evictions
+
+let test_memo_disabled_bypasses () =
+  (* the --no-cache contract at the table level: a disabled table
+     answers nothing, stores nothing, and counts nothing *)
+  let t : int Memo.t = Memo.create () in
+  Memo.add t "k" 1;
+  Memo.set_enabled t false;
+  Alcotest.(check (option int)) "disabled find misses" None (Memo.find t "k");
+  Memo.add t "k2" 2;
+  Alcotest.(check int) "disabled lookups uncounted" 0
+    ((Memo.stats t).Memo.hits + (Memo.stats t).Memo.misses);
+  Memo.set_enabled t true;
+  Alcotest.(check (option int)) "disabled add stored nothing" None (Memo.find t "k2");
+  Alcotest.(check (option int)) "re-enabled table still has its entries" (Some 1) (Memo.find t "k")
+
 let () =
   Alcotest.run "reuse"
     [
@@ -251,11 +314,15 @@ let () =
       ( "ground-truth",
         [
           Alcotest.test_case "ranking agrees with the simulator" `Quick test_ranking_matches_cachesim;
+          Alcotest.test_case "weighted score fixes the jki blind spot" `Quick
+            test_weighted_fixes_jki;
           Alcotest.test_case "per-array attribution" `Quick test_by_array_attribution;
         ] );
       ( "budget-and-memo",
         [
           Alcotest.test_case "work budget truncates pessimistically" `Quick test_budget_truncation;
           Alcotest.test_case "signature memo" `Quick test_signature_memo;
+          Alcotest.test_case "two-generation eviction" `Quick test_memo_two_generations;
+          Alcotest.test_case "disabled table bypasses" `Quick test_memo_disabled_bypasses;
         ] );
     ]

@@ -7,7 +7,7 @@
 
 module Search = Inl_search.Search
 module Moves = Inl_search.Moves
-module Cost = Inl_search.Cost
+module Reuse = Inl_reuse.Reuse
 module Tf = Inl_fuzz.Tf
 module Gen = Inl_fuzz.Gen
 module Px = Inl_kernels.Paper_examples
@@ -81,7 +81,7 @@ let test_static_score_orders_variants () =
   let score src =
     let ctx = Inl.analyze (parse src) in
     let n = Layout.size ctx.Inl.layout in
-    Cost.static_score ctx (structure_of ctx (Mat.identity n))
+    Reuse.static_score ctx (structure_of ctx (Mat.identity n))
   in
   let kji = score Px.cholesky_kji and jik = score Px.cholesky_jik in
   Alcotest.(check bool)
@@ -142,6 +142,89 @@ let test_optimize_deterministic_across_jobs () =
   Alcotest.(check string) "jobs=1 repeatable" r1 (run 1);
   Alcotest.(check string) "jobs=4 identical to jobs=1" r1 (run 4)
 
+(* ---- delta legality agrees with the full check ---- *)
+
+let verdicts_agree ~what full delta =
+  match (full, delta) with
+  | ( Inl.Legality.Legal { unsatisfied = ua; _ },
+      Inl.Legality.Legal { unsatisfied = ub; _ } ) ->
+      let ids v = List.map Inl.Legality.dep_id v in
+      if ids ua <> ids ub then QCheck2.Test.fail_reportf "%s: unsatisfied sets differ" what
+  | Inl.Legality.Illegal ra, Inl.Legality.Illegal rb ->
+      if not (String.equal ra rb) then
+        QCheck2.Test.fail_reportf "%s: offenders differ: %s vs %s" what ra rb
+  | Inl.Legality.Legal _, Inl.Legality.Illegal r ->
+      QCheck2.Test.fail_reportf "%s: full says legal, delta says illegal: %s" what r
+  | Inl.Legality.Illegal r, Inl.Legality.Legal _ ->
+      QCheck2.Test.fail_reportf "%s: full says illegal (%s), delta says legal" what r
+
+(* The search's soundness rests on check_env with a parent summary being
+   indistinguishable from a from-scratch check: same verdict, same
+   unsatisfied set, same first offender.  Exercised exactly the way the
+   beam uses it — identity -> one move -> a second move over
+   fuzz-generated programs. *)
+let delta_prop (seed, index) =
+  let prog, _ = Gen.case ~seed ~index in
+  let ctx = Inl.analyze prog in
+  let env = Inl.Legality.make_env ctx.Inl.layout ctx.Inl.deps in
+  let mat steps = Tf.materialize ctx { Tf.steps; partial = []; edits = [] } in
+  let _, id_summary = Inl.Legality.check_env env (Mat.identity (Layout.size ctx.Inl.layout)) in
+  let moves = List.filteri (fun i _ -> i < 8) (Moves.enumerate prog) in
+  let parents =
+    List.filter_map
+      (fun (k, s) ->
+        match mat [ (k, s) ] with
+        | Error _ -> None
+        | Ok m ->
+            let delta, summary = Inl.Legality.check_env ?parent:id_summary env m in
+            verdicts_agree ~what:(k ^ " " ^ s) (Inl.check ctx m) delta;
+            Option.map (fun y -> ((k, s), y)) summary)
+      moves
+  in
+  List.iter
+    (fun ((k1, s1), parent) ->
+      List.iter
+        (fun (k2, s2) ->
+          match mat [ (k1, s1); (k2, s2) ] with
+          | Error _ -> ()
+          | Ok m ->
+              verdicts_agree
+                ~what:(Printf.sprintf "%s %s; %s %s" k1 s1 k2 s2)
+                (Inl.check ctx m)
+                (fst (Inl.Legality.check_env ~parent env m)))
+        moves)
+    (List.filteri (fun i _ -> i < 3) parents);
+  true
+
+let delta_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"delta legality agrees with the full check" ~count:25
+       QCheck2.Gen.(pair (int_bound 4) (int_bound 23))
+       delta_prop)
+
+(* ---- the --no-cache contract for the new memos ---- *)
+
+let test_no_cache_bypasses_memos () =
+  let run () = render (Search.optimize ~config:tiny (Inl.analyze (parse Px.cholesky_kji))) in
+  let reference = run () in
+  Inl.Legality.set_memo_enabled false;
+  Search.set_mat_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () ->
+      Inl.Legality.set_memo_enabled true;
+      Search.set_mat_cache_enabled true)
+    (fun () ->
+      let lookups (s : Inl_diag.Memo.stats) = s.Inl_diag.Memo.hits + s.Inl_diag.Memo.misses in
+      let l0 = lookups (Inl.Legality.memo_stats ()) in
+      let p0 = lookups (Search.mat_cache_stats ()) in
+      let c0 = lookups (Search.completion_cache_stats ()) in
+      let off = run () in
+      Alcotest.(check string) "identical outcome without the memos" reference off;
+      Alcotest.(check int) "legality memo untouched" l0 (lookups (Inl.Legality.memo_stats ()));
+      Alcotest.(check int) "pipeline memo untouched" p0 (lookups (Search.mat_cache_stats ()));
+      Alcotest.(check int) "completion memo untouched" c0
+        (lookups (Search.completion_cache_stats ())))
+
 (* ---- property: every winner is legal, validated, and equivalent ---- *)
 
 let winner_prop (seed, index) =
@@ -194,6 +277,7 @@ let () =
           Alcotest.test_case "cholesky end-to-end" `Quick test_optimize_cholesky;
           Alcotest.test_case "deterministic across jobs" `Quick
             test_optimize_deterministic_across_jobs;
+          Alcotest.test_case "--no-cache bypasses the memos" `Quick test_no_cache_bypasses_memos;
         ] );
-      ("property", [ winner_property ]);
+      ("property", [ delta_property; winner_property ]);
     ]
