@@ -2,7 +2,7 @@
 # full build, test suite, and static verification of the example
 # kernels (examples/kernels/dune).
 
-.PHONY: all build test check fuzz-smoke search-smoke reuse-smoke bench-json perf-guard clean
+.PHONY: all build test check fuzz-smoke search-smoke reuse-smoke bench-json perf-guard corpus-smoke corpus-bench corpus-guard clean
 
 all: build
 
@@ -72,6 +72,32 @@ bench-json:
 perf-guard:
 	dune build bench/bench_search.exe
 	./_build/default/bench/bench_search.exe --guard BENCH_search.json -o /dev/null
+
+# Corpus-runner acceptance drill (the same one the dune runtest rule
+# runs): a 4-kernel mini-manifest with a poisoned kernel that must be
+# quarantined, a SIGINT drill (exit 130, checkpoint flushed) and a
+# SIGKILL drill, both resumed to a report byte-identical to the
+# uninterrupted reference.
+corpus-smoke:
+	dune build bin/inltool.exe
+	sh test/corpus_smoke.sh ./_build/default/bin/inltool.exe
+
+# Regenerate BENCH_corpus.json from the committed manifest.  The
+# manifest deliberately includes one poisoned kernel (injected hang
+# under a tight deadline) so every run exercises the retry ladder and
+# the quarantine path — the runner therefore exits 1, which is the
+# expected outcome, not a failure of the target.
+corpus-bench:
+	dune build bin/inltool.exe
+	-./_build/default/bin/inltool.exe corpus examples/kernels/corpus.manifest -o BENCH_corpus.json
+	cat BENCH_corpus.json
+
+# Corpus drift guard (also the opt-in `dune build @corpus-guard`
+# alias): re-runs the committed manifest fresh and untimed, and exits
+# nonzero if any kernel's status, winner recipe, miss counts or
+# degradation tags drift from the committed BENCH_corpus.json.
+corpus-guard:
+	dune build @corpus-guard
 
 clean:
 	dune clean

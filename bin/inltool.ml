@@ -29,6 +29,7 @@ module Memo = Inl_reuse.Memo
 module Diag = Inl.Diag
 module Budget = Inl.Budget
 module Faults = Inl.Faults
+module Sigint = Inl_diag.Sigint
 open Cmdliner
 
 let read_file path =
@@ -612,6 +613,8 @@ let optimize_cmd =
             seed;
           }
         in
+        Sigint.install ();
+        try
         let o = Search.optimize ~config ctx in
         let f = o.Search.funnel in
         Printf.printf
@@ -641,7 +644,7 @@ let optimize_cmd =
           o.Search.entries;
         print_diags ctx.Inl.diags;
         print_diags o.Search.diags;
-        match o.Search.winner with
+        (match o.Search.winner with
         | None -> 1
         | Some w ->
             let prog = Option.get w.Search.program in
@@ -654,6 +657,12 @@ let optimize_cmd =
             Printf.printf "wrote %s.loop and %s.tf\n" prefix prefix;
             Format.printf "@.%s@." (Inl.Pp.program_to_string prog);
             Diag.exit_code o.Search.diags)
+        with Sigint.Interrupted ->
+          (* honoured at generation boundaries inside the search: flush
+             the stats report (with_context's finish) and exit 130
+             instead of dying mid-write *)
+          prerr_endline "optimize: interrupted; no winner written";
+          Sigint.exit_code)
   in
   let beam =
     Arg.(value & opt (some int) None
@@ -810,14 +819,19 @@ let fuzz_cmd =
                 1
             | Ok reproduced -> finish stats (if reproduced then 1 else 0))
         | None -> (
+            Sigint.install ();
             let cfg =
               { Inl_fuzz.Driver.seed; cases; timeout_ms; corpus; shrink = not no_shrink }
             in
-            match Inl_fuzz.Driver.run cfg with
+            match Inl_fuzz.Driver.run ~stop:Sigint.requested cfg with
             | Error msg ->
                 print_diags [ Diag.error ~code:"D706" ~phase:Diag.Driver msg ];
                 1
-            | Ok report -> finish stats (if Inl_fuzz.Driver.findings report > 0 then 1 else 0)))
+            | Ok report ->
+                finish stats
+                  (if report.Inl_fuzz.Driver.interrupted then Sigint.exit_code
+                   else if Inl_fuzz.Driver.findings report > 0 then 1
+                   else 0)))
   in
   let seed =
     Arg.(
@@ -874,6 +888,148 @@ let fuzz_cmd =
           each case.  Any disagreement, crash or hang is shrunk, quarantined and reported; \
           exits 1 when the campaign produced findings.")
     Term.(const run $ setup_term $ seed $ cases $ timeout_ms $ corpus $ no_shrink $ replay)
+
+(* ---- corpus ---- *)
+
+let corpus_cmd =
+  let module Manifest = Inl_corpus.Manifest in
+  let module Runner = Inl_corpus.Runner in
+  let module Record = Inl_corpus.Record in
+  let module Bench = Inl_corpus.Bench in
+  let code_of_records records =
+    let has st = List.exists (fun (r : Record.t) -> r.Record.status = st) records in
+    if has Record.Quarantined || has Record.Failed then 1
+    else if has Record.Degraded then 2
+    else 0
+  in
+  let run common manifest_path state timeout_ms no_timings out_file guard =
+    match common with
+    | Error ds ->
+        print_diags ds;
+        1
+    | Ok stats -> (
+        Sigint.install ();
+        match Manifest.load manifest_path with
+        | Error ds ->
+            print_diags ds;
+            1
+        | Ok manifest -> (
+            (* guard mode is a fresh, unpersisted, untimed run: nothing
+               to resume from, nothing clobbered, wall-time noise out of
+               the comparison by construction *)
+            let cfg =
+              {
+                Runner.manifest;
+                state_dir = (if guard <> None then None else state);
+                timeout_ms;
+                timings = (not no_timings) && guard = None;
+                jobs = Inl.Pool.jobs ();
+              }
+            in
+            match Runner.run ~stop:Sigint.requested cfg with
+            | Error ds ->
+                print_diags ds;
+                finish stats 1
+            | Ok report ->
+                if report.Runner.interrupted then finish stats Sigint.exit_code
+                else
+                  let json =
+                    Bench.render ~manifest_fingerprint:manifest.Manifest.fingerprint
+                      ~jobs:cfg.Runner.jobs ~timings:cfg.Runner.timings report.Runner.records
+                  in
+                  finish stats
+                    (match guard with
+                    | None ->
+                        write_file out_file json;
+                        Printf.printf "wrote %s\n" out_file;
+                        code_of_records report.Runner.records
+                    | Some baseline_path -> (
+                        match read_file baseline_path with
+                        | exception Sys_error m ->
+                            print_diags
+                              [
+                                Diag.errorf ~code:"K709" ~phase:Diag.Corpus
+                                  "cannot read guard baseline: %s" m;
+                              ];
+                            1
+                        | baseline -> (
+                            match Bench.guard ~baseline ~current:json with
+                            | Ok () ->
+                                Printf.printf
+                                  "corpus-guard PASS: %d kernels match the committed report\n"
+                                  (List.length report.Runner.records);
+                                0
+                            | Error drifts ->
+                                print_diags
+                                  (List.map
+                                     (fun m ->
+                                       Diag.errorf ~code:"K709" ~phase:Diag.Corpus "%s" m)
+                                     drifts);
+                                1)))))
+  in
+  let manifest_arg =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"MANIFEST")
+  in
+  let state =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "State directory: the resumable checkpoint and quarantined kernel findings live \
+             here.  After every kernel the full record set is checkpointed crash-safely \
+             (write-temp + fsync + rename, checksummed header); a rerun restores completed \
+             kernels and continues.  Without it the run is not persisted.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"T"
+          ~doc:
+            "Default per-kernel wall-clock watchdog in milliseconds (0 disables; a \
+             manifest entry's $(b,timeout_ms) key overrides).  A kernel that exceeds it is \
+             retried once under a sharply reduced budget, then quarantined as a typed \
+             $(b,timeout) finding — the batch always continues.")
+  in
+  let no_timings =
+    Arg.(
+      value & flag
+      & info [ "no-timings" ]
+          ~doc:
+            "Record every kernel's wall time as 0, making the report a pure function of the \
+             manifest, seed and configuration — byte-identical across runs, including a \
+             SIGKILLed run resumed from its checkpoint (the acceptance drill).")
+  in
+  let out_file =
+    Arg.(
+      value & opt string "BENCH_corpus.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the consolidated JSON report.")
+  in
+  let guard =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "guard" ] ~docv:"FILE"
+          ~doc:
+            "Drift gate: rerun the corpus fresh (unpersisted, untimed) and exit 1 with typed \
+             $(b,K709) diagnostics if any kernel's status, quarantine signature, winner \
+             recipe, miss/access/candidate counts or degradation tags differ from the \
+             committed report at $(i,FILE); wall-time noise is never compared.")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Crash-tolerant bulk optimization over a kernel manifest: run the full pipeline \
+          (analyze, optimize, verify, simulate) on every kernel, each under its own budget, \
+          watchdog and fault scope with one reduced-budget retry; hung or crashing kernels \
+          are quarantined as replayable findings instead of aborting the batch, progress is \
+          checkpointed after every kernel for SIGKILL-safe resume, and the consolidated \
+          per-kernel report (miss counts, wall times, delta-inherit and memo rates, \
+          degradation tags) is written as JSON.  Exits 0 all clean, 1 quarantined/failed \
+          kernels or guard drift, 2 degraded, 130 interrupted.")
+    Term.(
+      const run $ setup_term $ manifest_arg $ state $ timeout_ms $ no_timings $ out_file
+      $ guard)
 
 (* ---- serve ---- *)
 
@@ -1023,5 +1179,6 @@ let () =
             analyze_cmd;
             optimize_cmd;
             fuzz_cmd;
+            corpus_cmd;
             serve_cmd;
           ]))

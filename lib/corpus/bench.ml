@@ -1,0 +1,85 @@
+module Json = Inl_serve.Json
+
+let jstr s = Json.to_string (Json.String s)
+
+let kernel_json (r : Record.t) =
+  Printf.sprintf
+    "    {\"name\": %s, \"status\": %s, \"signature\": %s, \"winner\": %s, \"source_misses\": \
+     %d, \"winner_misses\": %d, \"accesses\": %d, \"candidates\": %d, \"delta_inherit_rate\": \
+     %.3f, \"legality_memo_hits\": %d, \"mat_memo_hits\": %d, \"retried\": %b, \
+     \"degradations\": %s, \"wall_ms\": %d}"
+    (jstr r.Record.name)
+    (jstr (Record.status_to_string r.Record.status))
+    (jstr r.Record.signature) (jstr r.Record.winner) r.Record.source_misses
+    r.Record.winner_misses r.Record.accesses r.Record.candidates (Record.delta_inherit_rate r)
+    r.Record.legality_memo_hits r.Record.mat_memo_hits r.Record.retried
+    (jstr r.Record.degradations) r.Record.wall_ms
+
+let render ~manifest_fingerprint ~jobs ~timings records =
+  let count st = List.length (List.filter (fun r -> r.Record.status = st) records) in
+  let wall = List.fold_left (fun acc r -> acc + r.Record.wall_ms) 0 records in
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"inl-corpus-bench-v1\",\n\
+    \  \"manifest\": %s,\n\
+    \  \"jobs\": %d,\n\
+    \  \"timings\": %b,\n\
+    \  \"kernels\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"totals\": {\"kernels\": %d, \"clean\": %d, \"degraded\": %d, \"quarantined\": %d, \
+     \"failed\": %d, \"wall_ms\": %d}\n\
+     }\n"
+    (jstr manifest_fingerprint) jobs timings
+    (String.concat ",\n" (List.map kernel_json records))
+    (List.length records) (count Record.Clean) (count Record.Degraded)
+    (count Record.Quarantined) (count Record.Failed) wall
+
+(* ---- the drift guard ---- *)
+
+let stable_fields =
+  [ "status"; "signature"; "winner"; "source_misses"; "winner_misses"; "accesses";
+    "candidates"; "degradations" ]
+
+let kernel_map doc =
+  match Json.member "kernels" doc with
+  | Some (Json.List ks) ->
+      Ok
+        (List.filter_map
+           (fun k -> match Json.string_field "name" k with Some n -> Some (n, k) | None -> None)
+           ks)
+  | _ -> Error "no \"kernels\" list"
+
+let field_repr k name =
+  match Json.member name k with
+  | None -> "<absent>"
+  | Some v -> Json.to_string v
+
+let guard ~baseline ~current =
+  match (Json.parse baseline, Json.parse current) with
+  | Error m, _ -> Error [ "baseline does not parse: " ^ m ]
+  | _, Error m -> Error [ "fresh report does not parse: " ^ m ]
+  | Ok base, Ok cur -> (
+      match (kernel_map base, kernel_map cur) with
+      | Error m, _ -> Error [ "baseline: " ^ m ]
+      | _, Error m -> Error [ "fresh report: " ^ m ]
+      | Ok bks, Ok cks ->
+          let drifts = ref [] in
+          let note fmt = Format.kasprintf (fun m -> drifts := m :: !drifts) fmt in
+          List.iter
+            (fun (name, bk) ->
+              match List.assoc_opt name cks with
+              | None -> note "kernel %S: in the baseline but not the fresh report" name
+              | Some ck ->
+                  List.iter
+                    (fun f ->
+                      let b = field_repr bk f and c = field_repr ck f in
+                      if b <> c then note "kernel %S: %s drifted: committed %s, got %s" name f b c)
+                    stable_fields)
+            bks;
+          List.iter
+            (fun (name, _) ->
+              if not (List.mem_assoc name bks) then
+                note "kernel %S: in the fresh report but not the baseline" name)
+            cks;
+          if !drifts = [] then Ok () else Error (List.rev !drifts))

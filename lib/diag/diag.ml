@@ -12,6 +12,7 @@ type phase =
   | Verify
   | Search
   | Serve
+  | Corpus
   | Driver
 
 type span = { line : int }
@@ -46,6 +47,7 @@ let phase_to_string = function
   | Verify -> "verify"
   | Search -> "search"
   | Serve -> "serve"
+  | Corpus -> "corpus"
   | Driver -> "driver"
 
 let to_string d =

@@ -22,6 +22,7 @@ type phase =
   | Verify
   | Search
   | Serve
+  | Corpus
   | Driver
 
 type span = { line : int }

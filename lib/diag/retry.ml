@@ -1,0 +1,50 @@
+type policy = {
+  budget_divisor : int;
+  min_budget : int;
+  timeout_divisor : int;
+  min_timeout_ms : int;
+}
+
+let default_policy = { budget_divisor = 10; min_budget = 1_000; timeout_divisor = 4; min_timeout_ms = 50 }
+
+let reduced_budget p fm = max p.min_budget (fm / p.budget_divisor)
+let reduced_timeout p ms = if ms <= 0 then 0 else max p.min_timeout_ms (ms / p.timeout_divisor)
+
+type reason = Deadline of { timeout_ms : int; elapsed : float } | Degraded of string
+
+type 'a outcome =
+  | Completed of 'a
+  | Recovered of { value : 'a; first : reason; fm_work : int }
+  | Exhausted of { first : reason; second : reason; fm_work : int }
+
+(* One rung: the attempt's own deadline becomes [`Deadline], a
+   degradable exception becomes [`Degraded], everything else propagates.
+   [Watchdog.with_timeout] already re-raises a Timeout belonging to an
+   outer deadline, and [classify] re-raises it again for the
+   no-deadline path, so the ladder can never swallow a caller's
+   watchdog. *)
+let attempt ~degradable f ~fm_work ~timeout_ms =
+  let classify e =
+    match e with
+    | Watchdog.Timeout _ -> raise e
+    | e -> ( match degradable e with Some m -> `Degraded m | None -> raise e)
+  in
+  if timeout_ms <= 0 then
+    match f ~fm_work ~timeout_ms with v -> `Ok v | exception e -> classify e
+  else
+    match Watchdog.with_timeout ~ms:timeout_ms (fun () -> f ~fm_work ~timeout_ms) with
+    | Ok v -> `Ok v
+    | Error elapsed -> `Deadline (Deadline { timeout_ms; elapsed })
+    | exception e -> classify e
+
+let run ?(policy = default_policy) ~fm_work ~timeout_ms ~degradable f =
+  match attempt ~degradable f ~fm_work ~timeout_ms with
+  | `Ok v -> Completed v
+  | (`Deadline _ | `Degraded _) as failed -> (
+      let first = match failed with `Deadline r -> r | `Degraded m -> Degraded m in
+      let fm' = reduced_budget policy fm_work in
+      let ms' = reduced_timeout policy timeout_ms in
+      match attempt ~degradable f ~fm_work:fm' ~timeout_ms:ms' with
+      | `Ok v -> Recovered { value = v; first; fm_work = fm' }
+      | `Deadline second -> Exhausted { first; second; fm_work = fm' }
+      | `Degraded m -> Exhausted { first; second = Degraded m; fm_work = fm' })

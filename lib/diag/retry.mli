@@ -1,0 +1,66 @@
+(** The shared retry/degradation ladder.
+
+    Three long-running surfaces — [inltool serve] per-request guarding,
+    the fuzz driver's per-case watchdog, and the corpus bulk runner's
+    per-kernel guarding — all follow the same shape: run the work once
+    under a wall-clock deadline and a solver work budget; if that attempt
+    times out or degrades (a solver blowup escaping the conservative
+    paths), retry {e exactly once} at a sharply reduced budget (a solver
+    that was grinding usually finishes fast when starved); if the retry
+    also fails, hand the caller a typed, two-reason post-mortem instead
+    of aborting the batch.  This module is that ladder, once, so the
+    three call sites cannot drift apart.
+
+    The ladder is policy-parameterised but message-agnostic: callers
+    format their own diagnostics (R711/R706/R708 on the serve wire,
+    the pinned fuzz timeout-finding detail, K-codes in the corpus
+    runner) from the structured {!outcome}. *)
+
+type policy = {
+  budget_divisor : int;  (** retry budget = max min_budget (fm/divisor) *)
+  min_budget : int;
+  timeout_divisor : int;  (** retry deadline = max min_timeout_ms (ms/divisor) *)
+  min_timeout_ms : int;
+}
+
+val default_policy : policy
+(** Serve's ladder: budget/10 floored at 1_000, deadline/4 floored at
+    50 ms. *)
+
+val reduced_budget : policy -> int -> int
+
+val reduced_timeout : policy -> int -> int
+(** [<= 0] (no deadline) stays [0]. *)
+
+type reason =
+  | Deadline of { timeout_ms : int; elapsed : float }
+      (** the attempt exceeded its own [timeout_ms] deadline *)
+  | Degraded of string  (** [degradable] classified an escaped exception *)
+
+type 'a outcome =
+  | Completed of 'a  (** first attempt succeeded; no ladder involvement *)
+  | Recovered of { value : 'a; first : reason; fm_work : int }
+      (** the reduced-budget retry (at [fm_work]) answered *)
+  | Exhausted of { first : reason; second : reason; fm_work : int }
+      (** both rungs failed; callers emit a typed failure record *)
+
+val run :
+  ?policy:policy ->
+  fm_work:int ->
+  timeout_ms:int ->
+  degradable:(exn -> string option) ->
+  (fm_work:int -> timeout_ms:int -> 'a) ->
+  'a outcome
+(** [run ~fm_work ~timeout_ms ~degradable f] drives the ladder.  Each
+    attempt calls [f ~fm_work ~timeout_ms] with that rung's budget and
+    deadline under {!Watchdog.with_timeout} (no deadline when
+    [timeout_ms <= 0]); [f] is responsible for installing the work
+    budget (and any fault spec) for the attempt — installation must
+    happen per attempt so injected failures fire on the same schedule on
+    both rungs.
+
+    An exception [e] escaping [f] is retried iff [degradable e] is
+    [Some msg]; otherwise it propagates (serve recovers those as R707
+    worker panics, the corpus runner as K707).  A {!Watchdog.Timeout}
+    belonging to an {e outer} deadline is always re-raised, never
+    consumed by the ladder — the caller owns that deadline. *)

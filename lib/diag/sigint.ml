@@ -1,0 +1,13 @@
+exception Interrupted
+
+let flag = Atomic.make false
+let installed = Atomic.make false
+
+let install () =
+  if not (Atomic.exchange installed true) then
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set flag true)))
+
+let requested () = Atomic.get flag
+let reset () = Atomic.set flag false
+let check () = if requested () then raise Interrupted
+let exit_code = 130

@@ -1,0 +1,31 @@
+(** Cooperative SIGINT handling for long-running one-shot commands.
+
+    [inltool serve] already drains cleanly on SIGTERM, but the bulk
+    commands ([optimize], [fuzz], [corpus]) used to die mid-write on
+    Ctrl-C.  {!install} replaces the default fatal handler with one that
+    only sets an atomic flag; the command polls {!requested} (or calls
+    {!check}) at safe points — between fuzz cases, between corpus
+    kernels, between search generations — flushes its cursor or
+    checkpoint, and exits {!exit_code} (128+SIGINT, the shell
+    convention).  A second Ctrl-C during that wind-down is still just a
+    flag set, so the atomic-rename persistence paths are never torn. *)
+
+exception Interrupted
+(** Raised by {!check}; a typed alternative to polling for call sites
+    already structured around exceptions. *)
+
+val install : unit -> unit
+(** Swap in the flag-setting handler (idempotent; first call wins). *)
+
+val requested : unit -> bool
+(** Has SIGINT arrived since the last {!reset}? *)
+
+val reset : unit -> unit
+(** Clear the flag (used by tests and by commands that handled one
+    interrupt and choose to keep going). *)
+
+val check : unit -> unit
+(** @raise Interrupted when {!requested}. *)
+
+val exit_code : int
+(** 130. *)

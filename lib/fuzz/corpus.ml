@@ -69,8 +69,7 @@ let read_cursor ~dir =
 let write_cursor ~dir { seed; cases_done } =
   write_file_atomic (cursor_path dir) (Printf.sprintf "seed %d\ndone %d\n" seed cases_done)
 
-let write_finding ~dir ~index ~signature ~detail ~prog ~tf ~orig_prog ~orig_tf =
-  let base = Printf.sprintf "finding-%d-%s" index (Oracle.signature_to_string signature) in
+let write_finding_base ~dir ~base ~signature ~detail ~prog ~tf ~orig_prog ~orig_tf =
   let file ext = Filename.concat dir (base ^ ext) in
   write_file (file ".inl") (Pp.program_to_string prog);
   write_file (file ".tf") (Tf.to_string tf);
@@ -82,6 +81,10 @@ let write_finding ~dir ~index ~signature ~detail ~prog ~tf ~orig_prog ~orig_tf =
        detail
        (Filename.concat dir base));
   base
+
+let write_finding ~dir ~index ~signature ~detail ~prog ~tf ~orig_prog ~orig_tf =
+  let base = Printf.sprintf "finding-%d-%s" index (Oracle.signature_to_string signature) in
+  write_finding_base ~dir ~base ~signature ~detail ~prog ~tf ~orig_prog ~orig_tf
 
 let load_case ~inl ~tf =
   match read_file inl with

@@ -37,6 +37,20 @@ val write_finding :
 (** Quarantine one finding; returns the base name
     [finding-<index>-<signature>]. *)
 
+val write_finding_base :
+  dir:string ->
+  base:string ->
+  signature:Oracle.signature ->
+  detail:string ->
+  prog:Ast.program ->
+  tf:Tf.t ->
+  orig_prog:Ast.program ->
+  orig_tf:Tf.t ->
+  string
+(** {!write_finding} with a caller-chosen base name — the corpus bulk
+    runner quarantines kernels as [finding-<kernel>-<signature>] in the
+    same replayable format. *)
+
 val load_case : inl:string -> tf:string -> (Ast.program * Tf.t, string) result
 (** Parse a quarantined pair back for replay. *)
 

@@ -1,6 +1,7 @@
 module Ast = Inl_ir.Ast
 module Budget = Inl_diag.Budget
 module Watchdog = Inl_diag.Watchdog
+module Retry = Inl_diag.Retry
 module Omega = Inl_presburger.Omega
 
 type config = {
@@ -21,6 +22,7 @@ type report = {
   divergence : int;
   verdict_mismatch : int;
   timeout : int;
+  interrupted : bool;
 }
 
 let findings r = r.crash + r.divergence + r.verdict_mismatch + r.timeout
@@ -51,20 +53,13 @@ let gen_guarded ~seed ~index stash =
         (Oracle.Finding
            { signature = Oracle.Crash; detail = "generator raised: " ^ Printexc.to_string e })
 
-(* One attempt at one case under one budget; [Error elapsed] = watchdog. *)
-let one_attempt (cfg : config) ~index ~fm_work stash =
-  let saved = Omega.get_default_budget () in
-  Omega.set_default_budget (Budget.with_fm_work saved fm_work);
-  Fun.protect
-    ~finally:(fun () -> Omega.set_default_budget saved)
-    (fun () ->
-      let work () =
-        match gen_guarded ~seed:cfg.seed ~index stash with
-        | `Fail outcome -> outcome
-        | `Gen (prog, tf) -> Oracle.run_case prog tf
-      in
-      if cfg.timeout_ms <= 0 then Ok (work ())
-      else Watchdog.with_timeout ~ms:cfg.timeout_ms work)
+(* The per-case rungs of the shared ladder (Inl_diag.Retry): the serve
+   policy, except the retry keeps the full deadline — the point of the
+   starved rung is that a grinding solver blows up fast, not that it
+   gets less time — and nothing is degradable (the oracle already folds
+   Blowup into case verdicts; anything else escaping is a harness bug
+   that should abort). *)
+let retry_policy = { Retry.default_policy with timeout_divisor = 1; min_timeout_ms = 0 }
 
 let run_case (cfg : config) ~index stash =
   (* the stash survives a retry: both attempts derive the identical case
@@ -72,23 +67,31 @@ let run_case (cfg : config) ~index stash =
      still quarantine attempt one's program *)
   stash := None;
   let base_work = (Omega.get_default_budget ()).Budget.fm_work in
-  match one_attempt cfg ~index ~fm_work:base_work stash with
-  | Ok outcome -> outcome
-  | Error _ -> (
-      (* retry once, starved: a solver that was grinding usually blows
-         up fast under a tiny budget and the case completes degraded *)
-      let reduced = max 1_000 (base_work / 10) in
-      match one_attempt cfg ~index ~fm_work:reduced stash with
-      | Ok outcome -> outcome
-      | Error _ ->
-          Oracle.Finding
-            {
-              signature = Oracle.Timeout;
-              detail =
-                Printf.sprintf
-                  "case exceeded the %d ms watchdog twice (reduced-budget retry at fm_work=%d)"
-                  cfg.timeout_ms reduced;
-            })
+  let attempt ~fm_work ~timeout_ms:_ =
+    let saved = Omega.get_default_budget () in
+    Omega.set_default_budget (Budget.with_fm_work saved fm_work);
+    Fun.protect
+      ~finally:(fun () -> Omega.set_default_budget saved)
+      (fun () ->
+        match gen_guarded ~seed:cfg.seed ~index stash with
+        | `Fail outcome -> outcome
+        | `Gen (prog, tf) -> Oracle.run_case prog tf)
+  in
+  match
+    Retry.run ~policy:retry_policy ~fm_work:base_work ~timeout_ms:cfg.timeout_ms
+      ~degradable:(fun _ -> None)
+      attempt
+  with
+  | Retry.Completed outcome | Retry.Recovered { value = outcome; _ } -> outcome
+  | Retry.Exhausted { fm_work = reduced; _ } ->
+      Oracle.Finding
+        {
+          signature = Oracle.Timeout;
+          detail =
+            Printf.sprintf
+              "case exceeded the %d ms watchdog twice (reduced-budget retry at fm_work=%d)"
+              cfg.timeout_ms reduced;
+        }
 
 let shrink_finding (cfg : config) ~signature prog tf =
   if not cfg.shrink then (prog, tf)
@@ -118,7 +121,7 @@ let start_index (cfg : config) =
                      dir c.Corpus.seed cfg.seed)
               else Ok (min c.Corpus.cases_done cfg.cases)))
 
-let run ?(out = Format.std_formatter) (cfg : config) =
+let run ?(out = Format.std_formatter) ?(stop = fun () -> false) (cfg : config) =
   match start_index cfg with
   | Error _ as e -> e
   | Ok start ->
@@ -136,10 +139,18 @@ let run ?(out = Format.std_formatter) (cfg : config) =
             divergence = 0;
             verdict_mismatch = 0;
             timeout = 0;
+            interrupted = false;
           }
       in
       let stash = ref None in
-      for index = start to cfg.cases - 1 do
+      let next = ref start in
+      while !next < cfg.cases && not !totals.interrupted do
+        (* the stop hook (SIGINT) is consulted only between cases, so an
+           interrupt never tears a cursor or quarantine write *)
+        if stop () then totals := { !totals with interrupted = true }
+        else begin
+        let index = !next in
+        incr next;
         let outcome = run_case cfg ~index stash in
         (match outcome with
         | Oracle.Pass _ -> totals := { !totals with ok = !totals.ok + 1 }
@@ -168,10 +179,14 @@ let run ?(out = Format.std_formatter) (cfg : config) =
               (Oracle.signature_to_string signature)
               where detail);
         totals := { !totals with completed = !totals.completed + 1 };
-        match cfg.corpus with
+        (match cfg.corpus with
         | Some dir -> Corpus.write_cursor ~dir { Corpus.seed = cfg.seed; cases_done = index + 1 }
-        | None -> ()
+        | None -> ())
+        end
       done;
+      if !totals.interrupted then
+        Format.fprintf out "fuzz: interrupted after case %d of %d; cursor flushed, rerun to resume@."
+          (start + !totals.completed) cfg.cases;
       let line = summary_line !totals in
       Format.fprintf out "%s@." line;
       (match cfg.corpus with Some dir -> Corpus.write_summary ~dir line | None -> ());

@@ -29,6 +29,10 @@ type report = {
   divergence : int;
   verdict_mismatch : int;
   timeout : int;
+  interrupted : bool;
+      (** the [stop] hook fired between cases; the cursor is flushed and
+          rerunning the same command resumes at the first unfinished
+          case.  The CLI maps this to exit 130. *)
 }
 
 val findings : report -> int
@@ -37,11 +41,13 @@ val summary_line : report -> string
 (** ["fuzz: seed=.. cases=.. completed=.. ok=.. skipped=.. findings=..
     (crash=.. divergence=.. verdict-mismatch=.. timeout=..)"] *)
 
-val run : ?out:Format.formatter -> config -> (report, string) result
+val run : ?out:Format.formatter -> ?stop:(unit -> bool) -> config -> (report, string) result
 (** Run (or resume) a campaign.  [Error] is reserved for harness-level
     problems — an unusable corpus directory or a cursor recorded under a
     different seed; case-level misbehaviour of any kind becomes a
-    finding, never an [Error]. *)
+    finding, never an [Error].  [stop] (default never) is polled between
+    cases; when it returns [true] the campaign winds down cleanly with
+    [interrupted = true] — the SIGINT hook. *)
 
 val replay : ?timeout_ms:int -> ?out:Format.formatter -> string -> (bool, string) result
 (** [replay base] re-runs the quarantined case [base.inl]/[base.tf]

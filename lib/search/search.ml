@@ -3,6 +3,7 @@ module Rng = Inl_fuzz.Rng
 module Diag = Inl_diag.Diag
 module Stats = Inl_diag.Stats
 module Watchdog = Inl_diag.Watchdog
+module Sigint = Inl_diag.Sigint
 module Cachesim = Inl_cachesim.Cachesim
 module Interp = Inl_interp.Interp
 module Verify = Inl_verify.Verify
@@ -235,6 +236,18 @@ let set_trace_cache_enabled b =
   Memo.set_enabled sim_memo b;
   Memo.set_enabled arrays_memo b
 
+(* Forget every process-wide search memo (materialization, completion,
+   signature front tier, simulation, extents).  The corpus runner calls
+   this at each kernel boundary so every per-kernel record is measured
+   against cold caches — a resumed run that skips completed kernels then
+   reproduces the remaining records byte-identically. *)
+let clear_process_memos () =
+  Memo.clear pipe_memo;
+  Memo.clear complete_memo;
+  Memo.clear sig_memo;
+  Memo.clear sim_memo;
+  Memo.clear arrays_memo
+
 let trace_cache_enabled () = Memo.enabled sim_memo
 let trace_cache_stats () = Memo.stats sim_memo
 
@@ -434,6 +447,10 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   (try
      for gen = 1 to config.depth do
        Watchdog.poll ();
+       (* like the watchdog, a pending SIGINT is honoured at generation
+          boundaries: the CLI flushes partial stats and exits 130
+          instead of dying mid-search *)
+       Sigint.check ();
        let rng = Rng.case ~seed:config.seed ~index:gen in
        (* One fan-out unit is a (parent, chunk-of-child-recipes) pair:
           the chunk amortizes the per-task cost (the parent's prefix

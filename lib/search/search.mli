@@ -121,6 +121,14 @@ val recipe_line : Tf.t -> string
     ["interchange J,I2; reverse K"] or ["complete row=[0,0,0,1,0,0,0]"];
     ["identity"] for the empty recipe. *)
 
+val clear_process_memos : unit -> unit
+(** Forget every process-wide search memo (step-prefix materialization,
+    completion results, signature front tier, simulation results,
+    measured extents).  The corpus runner clears them — together with
+    the Omega projection cache and the legality/reuse memos — at each
+    kernel boundary, so per-kernel records are cold-cache measurements
+    independent of batch order and of where a resumed run restarted. *)
+
 val set_trace_cache_enabled : bool -> unit
 (** Enable/disable the process-wide trace-tier memos (simulation results
     and measured array extents, keyed on rendered program text plus the

@@ -33,6 +33,7 @@ module Budget = Inl_diag.Budget
 module Faults = Inl_diag.Faults
 module Stats = Inl_diag.Stats
 module Watchdog = Inl_diag.Watchdog
+module Retry = Inl_diag.Retry
 module Omega = Inl_presburger.Omega
 module Cache = Inl_presburger.Cache
 module Pool = Inl_parallel.Pool
@@ -392,15 +393,14 @@ let stats_json t =
       ("methods", Json.Obj methods);
     ]
 
-(* ---- the degradation ladder ---- *)
+(* ---- the degradation ladder (shared: Inl_diag.Retry) ---- *)
 
-(* One attempt of [handler] under a given work budget and deadline; the
-   fault spec is (re)installed per attempt so injected failures fire on
-   the same schedule whether or not this is the retry. *)
-let attempt ~base_budget ~faults ~fm ~ms handler =
-  Faults.install faults;
-  Omega.set_default_budget (Budget.with_fm_work base_budget fm);
-  if ms <= 0 then Ok (handler ()) else Watchdog.with_timeout ~ms handler
+(* The first-rung failure, rendered the way the retry diagnostics quote
+   it on the wire. *)
+let first_reason_message = function
+  | Retry.Deadline { timeout_ms; _ } ->
+      Printf.sprintf "request exceeded its %d ms deadline" timeout_ms
+  | Retry.Degraded m -> "a solver blowup escaped the degradation paths: " ^ m
 
 let guarded t ~id ~meth req (handler : unit -> hresult) =
   let base_budget = Omega.get_default_budget () in
@@ -432,42 +432,43 @@ let guarded t ~id ~meth req (handler : unit -> hresult) =
             Omega.set_default_budget base_budget;
             Faults.install base_faults)
           (fun () ->
-            let retry what =
-              let fm' = max 1_000 (base_fm / 10) in
-              let ms' = if ms <= 0 then 0 else max 50 (ms / 4) in
-              match attempt ~base_budget ~faults ~fm:fm' ~ms:ms' handler with
-              | Ok (result, ds) ->
-                  `Done
-                    ( result,
-                      ds
-                      @ [
-                          Diag.warningf ~code:"R711" ~phase:Diag.Serve
-                            "%s; answered by a retry at reduced budget (fm_work=%d)" what fm';
-                        ] )
-              | Error _ ->
-                  `Done
-                    ( Json.Null,
-                      [
-                        Diag.errorf ~code:"R706" ~phase:Diag.Serve
-                          "%s, and the reduced-budget retry (fm_work=%d) also exceeded its \
-                           deadline; request abandoned"
-                          what fm';
-                      ] )
-              | exception Omega.Blowup m ->
-                  `Done
-                    ( Json.Null,
-                      [
-                        Diag.errorf ~code:"R708" ~phase:Diag.Serve
-                          "%s, and the reduced-budget retry (fm_work=%d) blew up: %s" what fm'
-                          m;
-                      ] )
-              | exception e -> `Panic (e, Printexc.get_backtrace ())
+            (* the fault spec is (re)installed per attempt so injected
+               failures fire on the same schedule whether or not this is
+               the retry *)
+            let f ~fm_work ~timeout_ms:_ =
+              Faults.install faults;
+              Omega.set_default_budget (Budget.with_fm_work base_budget fm_work);
+              handler ()
             in
-            match attempt ~base_budget ~faults ~fm:base_fm ~ms handler with
-            | Ok (result, ds) -> `Done (result, ds)
-            | Error _ -> retry (Printf.sprintf "request exceeded its %d ms deadline" ms)
-            | exception Omega.Blowup m ->
-                retry ("a solver blowup escaped the degradation paths: " ^ m)
+            let degradable = function Omega.Blowup m -> Some m | _ -> None in
+            match Retry.run ~fm_work:base_fm ~timeout_ms:ms ~degradable f with
+            | Retry.Completed (result, ds) -> `Done (result, ds)
+            | Retry.Recovered { value = result, ds; first; fm_work = fm' } ->
+                `Done
+                  ( result,
+                    ds
+                    @ [
+                        Diag.warningf ~code:"R711" ~phase:Diag.Serve
+                          "%s; answered by a retry at reduced budget (fm_work=%d)"
+                          (first_reason_message first) fm';
+                      ] )
+            | Retry.Exhausted { first; second = Retry.Deadline _; fm_work = fm' } ->
+                `Done
+                  ( Json.Null,
+                    [
+                      Diag.errorf ~code:"R706" ~phase:Diag.Serve
+                        "%s, and the reduced-budget retry (fm_work=%d) also exceeded its \
+                         deadline; request abandoned"
+                        (first_reason_message first) fm';
+                    ] )
+            | Retry.Exhausted { first; second = Retry.Degraded m; fm_work = fm' } ->
+                `Done
+                  ( Json.Null,
+                    [
+                      Diag.errorf ~code:"R708" ~phase:Diag.Serve
+                        "%s, and the reduced-budget retry (fm_work=%d) blew up: %s"
+                        (first_reason_message first) fm' m;
+                    ] )
             | exception e -> `Panic (e, Printexc.get_backtrace ()))
       in
       match outcome with

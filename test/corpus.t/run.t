@@ -1,0 +1,95 @@
+The corpus bulk runner's CLI surface.  Everything below is
+deterministic: jobs=1, --no-timings (wall_ms pinned to 0), fixed
+seeds, no state directory unless a drill needs one.
+
+A two-kernel manifest over a pair of tiny nests.  The run prints one
+line per kernel, writes the consolidated report, and exits 0 when
+every kernel is clean:
+
+  $ cat > tri.loop <<'EOF'
+  > params N
+  > do I = 1..N
+  >   S1: X(I) = B(I) / L(I,I)
+  >   do J = I+1..N
+  >     S2: B(J) = B(J) - L(J,I) * X(I)
+  >   enddo
+  > enddo
+  > EOF
+  $ cat > dp.loop <<'EOF'
+  > params N
+  > do I = 1..N
+  >   S1: C(I) = B(I)
+  >   do J = 1..I-1
+  >     S2: C(I) = C(I) + C(J) * W(I,J)
+  >   enddo
+  > enddo
+  > EOF
+  $ cat > good.manifest <<'EOF'
+  > kernel tri tri.loop
+  > kernel dp  dp.loop
+  > EOF
+  $ inltool corpus good.manifest --no-timings -o B.json
+  corpus: tri: clean winner="complete row=[0,0,0,1]" misses=13->13
+  corpus: dp: clean winner="identity" misses=7->7
+  corpus: 2 kernels: 2 clean, 0 degraded, 0 quarantined, 0 failed
+  wrote B.json
+  $ cat B.json
+  {
+    "schema": "inl-corpus-bench-v1",
+    "manifest": "a0cad3094752878b",
+    "jobs": 1,
+    "timings": false,
+    "kernels": [
+      {"name": "tri", "status": "clean", "signature": "", "winner": "complete row=[0,0,0,1]", "source_misses": 13, "winner_misses": 13, "accesses": 3480, "candidates": 215, "delta_inherit_rate": 0.233, "legality_memo_hits": 0, "mat_memo_hits": 196, "retried": false, "degradations": "", "wall_ms": 0},
+      {"name": "dp", "status": "clean", "signature": "", "winner": "identity", "source_misses": 7, "winner_misses": 7, "accesses": 3432, "candidates": 229, "delta_inherit_rate": 0.255, "legality_memo_hits": 0, "mat_memo_hits": 210, "retried": false, "degradations": "", "wall_ms": 0}
+    ],
+    "totals": {"kernels": 2, "clean": 2, "degraded": 0, "quarantined": 0, "failed": 0, "wall_ms": 0}
+  }
+
+The guard: a fresh untimed run against the committed report.  In
+agreement it passes with exit 0:
+
+  $ inltool corpus good.manifest --guard B.json
+  corpus: tri: clean winner="complete row=[0,0,0,1]" misses=13->13
+  corpus: dp: clean winner="identity" misses=7->7
+  corpus: 2 kernels: 2 clean, 0 degraded, 0 quarantined, 0 failed
+  corpus-guard PASS: 2 kernels match the committed report
+
+A drifted baseline — here a tampered miss count — is a typed K709
+failure naming the kernel, the field and both values:
+
+  $ sed 's/"winner_misses": 13/"winner_misses": 99/' B.json > drifted.json
+  $ inltool corpus good.manifest --guard drifted.json
+  corpus: tri: clean winner="complete row=[0,0,0,1]" misses=13->13
+  corpus: dp: clean winner="identity" misses=7->7
+  corpus: 2 kernels: 2 clean, 0 degraded, 0 quarantined, 0 failed
+  error[K709] corpus: kernel "tri": winner_misses drifted: committed 99, got 13
+  [1]
+
+A malformed manifest is rejected line by line with typed K701
+diagnostics; nothing runs:
+
+  $ cat > bad.manifest <<'EOF'
+  > kernel tri tri.loop colour=blue
+  > kremel dp dp.loop
+  > kernel x
+  > EOF
+  $ inltool corpus bad.manifest
+  error[K701] corpus: manifest line 1: unknown key "colour"
+  error[K701] corpus: manifest line 2: unknown directive "kremel" (expected "kernel")
+  error[K701] corpus: manifest line 3: expected: kernel <name> <path> [key=value ...]
+  [1]
+
+A manifest naming a kernel file that does not exist records a failed
+kernel (the batch is not aborted) and exits 1:
+
+  $ cat > ghost.manifest <<'EOF'
+  > kernel tri tri.loop
+  > kernel ghost no-such-file.loop
+  > EOF
+  $ inltool corpus ghost.manifest --no-timings -o G.json
+  corpus: tri: clean winner="complete row=[0,0,0,1]" misses=13->13
+  corpus: ghost: failed: cannot read kernel: ./no-such-file.loop: No such file or directory
+  corpus: 2 kernels: 1 clean, 0 degraded, 0 quarantined, 1 failed
+  wrote G.json
+  [1]

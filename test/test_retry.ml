@@ -1,0 +1,163 @@
+(* The shared retry/degradation ladder (Inl_diag.Retry).
+
+   One implementation, three call sites (serve, fuzz, corpus) — these
+   units pin the ladder's contract independently of any caller:
+
+   - rung arithmetic: the reduced budget/deadline clamps;
+   - Completed means exactly one attempt, at full budget;
+   - a degradable exception buys exactly one retry at reduced budget;
+   - two failures produce a typed two-reason post-mortem, with the
+     first-rung reason preserved verbatim;
+   - non-degradable exceptions propagate untouched;
+   - a Watchdog.Timeout belonging to an outer deadline is never
+     consumed by the ladder. *)
+
+module Retry = Inl_diag.Retry
+module Watchdog = Inl_diag.Watchdog
+
+exception Boom of string
+
+let degradable = function Boom m -> Some m | _ -> None
+
+(* ---- rung arithmetic ---- *)
+
+let test_reduced_budget () =
+  let p = Retry.default_policy in
+  Alcotest.(check int) "500k -> 50k" 50_000 (Retry.reduced_budget p 500_000);
+  Alcotest.(check int) "floored at min_budget" 1_000 (Retry.reduced_budget p 5_000);
+  Alcotest.(check int) "tiny stays floored" 1_000 (Retry.reduced_budget p 1)
+
+let test_reduced_timeout () =
+  let p = Retry.default_policy in
+  Alcotest.(check int) "400 -> 100" 100 (Retry.reduced_timeout p 400);
+  Alcotest.(check int) "floored at min_timeout" 50 (Retry.reduced_timeout p 100);
+  Alcotest.(check int) "no deadline stays none" 0 (Retry.reduced_timeout p 0);
+  Alcotest.(check int) "negative stays none" 0 (Retry.reduced_timeout p (-7));
+  let fuzz = { Retry.default_policy with timeout_divisor = 1; min_timeout_ms = 0 } in
+  Alcotest.(check int) "fuzz policy keeps the deadline" 400 (Retry.reduced_timeout fuzz 400)
+
+(* ---- the happy path ---- *)
+
+let test_completed_single_attempt () =
+  let calls = ref [] in
+  let outcome =
+    Retry.run ~fm_work:500_000 ~timeout_ms:0 ~degradable (fun ~fm_work ~timeout_ms ->
+        calls := (fm_work, timeout_ms) :: !calls;
+        42)
+  in
+  (match outcome with
+  | Retry.Completed v -> Alcotest.(check int) "value" 42 v
+  | _ -> Alcotest.fail "expected Completed");
+  Alcotest.(check (list (pair int int))) "one attempt, full budget" [ (500_000, 0) ] !calls
+
+(* ---- one degradable failure -> one reduced-budget retry ---- *)
+
+let test_recovered_from_degradation () =
+  let calls = ref [] in
+  let outcome =
+    Retry.run ~fm_work:500_000 ~timeout_ms:0 ~degradable (fun ~fm_work ~timeout_ms:_ ->
+        calls := fm_work :: !calls;
+        if List.length !calls = 1 then raise (Boom "budget exhausted (cap)") else 7)
+  in
+  (match outcome with
+  | Retry.Recovered { value; first = Retry.Degraded m; fm_work } ->
+      Alcotest.(check int) "value" 7 value;
+      Alcotest.(check string) "first reason preserved" "budget exhausted (cap)" m;
+      Alcotest.(check int) "retry budget" 50_000 fm_work
+  | _ -> Alcotest.fail "expected Recovered (Degraded)");
+  Alcotest.(check (list int)) "budgets per rung" [ 50_000; 500_000 ] !calls
+
+let test_exhausted_keeps_both_reasons () =
+  let n = ref 0 in
+  let outcome =
+    Retry.run ~fm_work:20_000 ~timeout_ms:0 ~degradable (fun ~fm_work:_ ~timeout_ms:_ ->
+        incr n;
+        raise (Boom (Printf.sprintf "blowup %d" !n)))
+  in
+  match outcome with
+  | Retry.Exhausted { first = Retry.Degraded a; second = Retry.Degraded b; fm_work } ->
+      Alcotest.(check string) "first" "blowup 1" a;
+      Alcotest.(check string) "second" "blowup 2" b;
+      Alcotest.(check int) "second rung budget" 2_000 fm_work
+  | _ -> Alcotest.fail "expected Exhausted (Degraded, Degraded)"
+
+let test_non_degradable_propagates () =
+  let n = ref 0 in
+  (try
+     ignore
+       (Retry.run ~fm_work:1_000 ~timeout_ms:0 ~degradable (fun ~fm_work:_ ~timeout_ms:_ ->
+            incr n;
+            failwith "worker panic"));
+     Alcotest.fail "exception swallowed"
+   with Failure m -> Alcotest.(check string) "message" "worker panic" m);
+  Alcotest.(check int) "no retry for a panic" 1 !n
+
+(* ---- deadlines ---- *)
+
+let test_deadline_then_recovered () =
+  let calls = ref [] in
+  let outcome =
+    Retry.run ~fm_work:500_000 ~timeout_ms:200 ~degradable (fun ~fm_work ~timeout_ms ->
+        calls := (fm_work, timeout_ms) :: !calls;
+        if List.length !calls = 1 then begin
+          Watchdog.hang ();
+          assert false
+        end
+        else 9)
+  in
+  (match outcome with
+  | Retry.Recovered { value; first = Retry.Deadline { timeout_ms; elapsed }; fm_work } ->
+      Alcotest.(check int) "value" 9 value;
+      Alcotest.(check int) "first-rung deadline" 200 timeout_ms;
+      Alcotest.(check bool) "elapsed at least the deadline" true (elapsed >= 0.2);
+      Alcotest.(check int) "retry budget" 50_000 fm_work
+  | _ -> Alcotest.fail "expected Recovered (Deadline)");
+  match !calls with
+  | [ (50_000, 50); (500_000, 200) ] -> ()
+  | _ -> Alcotest.fail "rungs did not see (500000,200) then (50000,50)"
+
+let test_deadline_exhausted () =
+  match
+    Retry.run ~fm_work:500_000 ~timeout_ms:100 ~degradable (fun ~fm_work:_ ~timeout_ms:_ ->
+        Watchdog.hang ())
+  with
+  | Retry.Exhausted
+      { first = Retry.Deadline { timeout_ms = t1; _ };
+        second = Retry.Deadline { timeout_ms = t2; _ };
+        fm_work;
+      } ->
+      Alcotest.(check int) "first rung" 100 t1;
+      Alcotest.(check int) "second rung floored" 50 t2;
+      Alcotest.(check int) "second rung budget" 50_000 fm_work
+  | _ -> Alcotest.fail "expected Exhausted (Deadline, Deadline)"
+
+let test_outer_deadline_not_consumed () =
+  (* The ladder itself runs without a deadline; the Timeout that fires
+     belongs to the caller's watchdog and must reach it, not be turned
+     into a ladder rung. *)
+  let attempts = ref 0 in
+  match
+    Watchdog.with_timeout ~ms:100 (fun () ->
+        Retry.run ~fm_work:1_000 ~timeout_ms:0 ~degradable (fun ~fm_work:_ ~timeout_ms:_ ->
+            incr attempts;
+            Watchdog.hang ()))
+  with
+  | Error _ -> Alcotest.(check int) "ladder did not retry the outer timeout" 1 !attempts
+  | Ok _ -> Alcotest.fail "outer deadline never fired"
+
+let () =
+  Alcotest.run "retry"
+    [
+      ( "ladder",
+        [
+          Alcotest.test_case "reduced budget clamps" `Quick test_reduced_budget;
+          Alcotest.test_case "reduced timeout clamps" `Quick test_reduced_timeout;
+          Alcotest.test_case "completed = one attempt" `Quick test_completed_single_attempt;
+          Alcotest.test_case "recovered from degradation" `Quick test_recovered_from_degradation;
+          Alcotest.test_case "exhausted keeps both reasons" `Quick test_exhausted_keeps_both_reasons;
+          Alcotest.test_case "panic propagates" `Quick test_non_degradable_propagates;
+          Alcotest.test_case "deadline then recovered" `Quick test_deadline_then_recovered;
+          Alcotest.test_case "deadline exhausted" `Quick test_deadline_exhausted;
+          Alcotest.test_case "outer deadline not consumed" `Quick test_outer_deadline_not_consumed;
+        ] );
+    ]

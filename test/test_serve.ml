@@ -123,6 +123,47 @@ let test_snapshot_rejects_corruption () =
   Alcotest.(check bool) "absent -> Ok None" true
     (Snapshot.load ~path ~kind:"demo" ~version:1 = Ok None)
 
+(* The corruption shapes a torn write or a dying disk actually leaves
+   behind, each pinned to a distinct refusal: the corpus runner and the
+   serve daemon both treat any of these as a typed cold start, never as
+   a payload. *)
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_snapshot_corruption_edge_cases () =
+  let path = tmpfile "snap-edge" in
+  let expect_substring what needle =
+    match Snapshot.load ~path ~kind:"demo" ~version:1 with
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | Error m -> if not (contains ~needle m) then Alcotest.failf "%s: error %S lacks %S" what m needle
+  in
+  let put s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s) in
+  (* zero-length file: a crash between open and first write *)
+  put "";
+  expect_substring "zero-length" "no header line";
+  (* header line only, payload never reached the disk *)
+  Result.get_ok (Snapshot.save ~path ~kind:"demo" ~version:1 "payload");
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let nl = String.index raw '\n' in
+  put (String.sub raw 0 (nl + 1));
+  expect_substring "header only" "payload truncated (0 of 7 bytes)";
+  (* truncation mid-header: not even the container line survived *)
+  put (String.sub raw 0 (nl - 2));
+  expect_substring "mid-header cut" "no header line";
+  (* checksum mismatch with the length intact *)
+  put (String.concat "" [ String.sub raw 0 (nl + 1); "payloaX" ]);
+  expect_substring "checksum" "checksum mismatch";
+  (* version skew in an otherwise pristine file *)
+  put raw;
+  (match Snapshot.load ~path ~kind:"demo" ~version:9 with
+  | Error m ->
+      Alcotest.(check bool) "version skew names both versions" true
+        (contains ~needle:"format version 1, this build reads 9" m)
+  | Ok _ -> Alcotest.fail "version skew accepted");
+  Sys.remove path
+
 let test_cache_snapshot_roundtrip () =
   Omega.clear_cache ();
   let src = "params N\ndo I = 1..N\n  S1: A(I) = A(I-1) + A(I)\nenddo\n" in
@@ -254,6 +295,7 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "corruption rejected" `Quick test_snapshot_rejects_corruption;
+          Alcotest.test_case "corruption edge cases" `Quick test_snapshot_corruption_edge_cases;
           Alcotest.test_case "omega cache round-trip" `Quick test_cache_snapshot_roundtrip;
         ] );
       ( "handle",
