@@ -2,7 +2,7 @@
 # full build, test suite, and static verification of the example
 # kernels (examples/kernels/dune).
 
-.PHONY: all build test check fuzz-smoke search-smoke reuse-smoke bench-json perf-guard corpus-smoke corpus-bench corpus-guard clean
+.PHONY: all build test check fuzz-smoke search-smoke reuse-smoke bench-json perf-guard corpus-smoke corpus-bench corpus-guard exec-smoke exec-bench exec-guard clean
 
 all: build
 
@@ -72,6 +72,31 @@ bench-json:
 perf-guard:
 	dune build bench/bench_search.exe
 	./_build/default/bench/bench_search.exe --guard BENCH_search.json -o /dev/null
+
+# Execution-runtime smoke (the same drill the dune runtest rule runs):
+# every workload row's outcome label — plan and differential verdict,
+# never wall time — is pinned, with all timings masked in the report.
+exec-smoke:
+	dune build bench/bench_exec.exe
+	./_build/default/bench/bench_exec.exe --smoke --jobs 2
+
+# Regenerate BENCH_exec.json: real (domain-parallel) execution of the
+# workload kernels, sequential vs parallel wall clock min-of-N, with
+# the honest core count next to the requested worker count.  On a
+# single-core box the parallel rows are a determinism check, not a
+# speedup claim.
+exec-bench:
+	dune build bench/bench_exec.exe
+	./_build/default/bench/bench_exec.exe -o BENCH_exec.json
+	cat BENCH_exec.json
+
+# Execution drift guard (also the opt-in `dune build @exec-guard`
+# alias): re-runs the workload and exits nonzero if any row's outcome
+# label, plan or DOALL count drifts from the committed BENCH_exec.json;
+# wall-clock fields are never compared.
+exec-guard:
+	dune build bench/bench_exec.exe
+	./_build/default/bench/bench_exec.exe --guard BENCH_exec.json -o /dev/null
 
 # Corpus-runner acceptance drill (the same one the dune runtest rule
 # runs): a 4-kernel mini-manifest with a poisoned kernel that must be

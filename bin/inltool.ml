@@ -23,6 +23,8 @@
 
 module Interp = Inl_interp.Interp
 module Verify = Inl_verify.Verify
+module Exec = Inl_exec.Exec
+module Cemit = Inl_exec.Cemit
 module Search = Inl_search.Search
 module Reuse = Inl_reuse.Reuse
 module Memo = Inl_reuse.Memo
@@ -555,47 +557,141 @@ let verify_cmd =
 
 (* ---- run ---- *)
 
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
 let run_cmd =
-  let run common file n =
+  let run common file n recipe threads repeat no_timings emit_c =
     match common with
     | Error ds ->
         print_diags ds;
         1
     | Ok stats -> (
-        (* Parse-only on purpose: generated programs (If/Let nodes) have no
-           instance-vector layout but interpret fine. *)
-        match parse_only file with
+        (* Without --recipe, parse-only on purpose: generated programs
+           (If/Let nodes) have no instance-vector layout but interpret
+           fine.  With --recipe the file must be a source program (the
+           recipe re-materializes against its layout, exactly as
+           `apply --recipe` would) and the transformed code is run. *)
+        let prog_result =
+          match recipe with
+          | None -> parse_only file
+          | Some rpath -> (
+              match load file with
+              | Error ds -> Error ds
+              | Ok ctx -> (
+                  match materialize_recipe ctx rpath with
+                  | Error ds -> Error ds
+                  | Ok total -> (
+                      match Inl.transform ctx total with
+                      | Error ds -> Error (ctx.Inl.diags @ ds)
+                      | Ok prog -> Ok prog)))
+        in
+        match prog_result with
         | Error ds ->
             print_diags ds;
             1
         | Ok prog -> (
-            match Interp.run prog ~params:[ ("N", n) ] with
-            | exception Invalid_argument msg ->
-                print_diags [ Diag.error ~code:"I601" ~phase:Diag.Interp msg ];
-                1
-            | store ->
-                let cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] in
-                List.iter
-                  (fun ((name, idx), v) ->
-                    Printf.printf "%s(%s) = %.6g\n" name
-                      (String.concat "," (List.map string_of_int idx))
-                      v)
-                  (List.sort compare cells);
-                finish stats 0))
+            (* every program parameter is bound to the -N size, as in the
+               search's simulation tier *)
+            let params = List.map (fun p -> (p, n)) prog.Inl.Ast.params in
+            match emit_c with
+            | Some cpath -> (
+                match Exec.analyze prog with
+                | exception Inl.Ast.Invalid msg ->
+                    print_diags [ Diag.errorf ~code:"X802" ~phase:Diag.Exec "invalid program: %s" msg ];
+                    1
+                | doall ->
+                    write_file cpath (Cemit.emit prog ~params ~doall);
+                    Printf.printf "wrote %s (%d/%d loops doall)\n" cpath
+                      (Exec.doall_count doall) (List.length doall);
+                    finish stats 0)
+            | None -> (
+                match threads with
+                | Some jobs -> (
+                    match Exec.benchmark ~jobs ~repeat prog ~params with
+                    | Error ds ->
+                        print_diags ds;
+                        finish stats 1
+                    | Ok r ->
+                        List.iter print_endline (Exec.render ~timings:(not no_timings) r);
+                        print_diags r.Exec.notes;
+                        finish stats (Diag.exit_code r.Exec.notes))
+                | None -> (
+                    match Interp.run prog ~params with
+                    | exception Invalid_argument msg ->
+                        print_diags [ Diag.error ~code:"I601" ~phase:Diag.Interp msg ];
+                        1
+                    | store ->
+                        let cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] in
+                        List.iter
+                          (fun ((name, idx), v) ->
+                            Printf.printf "%s(%s) = %.6g\n" name
+                              (String.concat "," (List.map string_of_int idx))
+                              v)
+                          (List.sort compare cells);
+                        finish stats 0))))
+  in
+  let recipe =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "recipe" ] ~docv:"R.tf"
+          ~doc:
+            "Run the program under this transformation recipe (the $(b,tf v1) format written \
+             by $(b,optimize)): the recipe re-materializes against FILE and the generated \
+             code is executed.")
+  in
+  let threads =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "threads" ] ~docv:"N"
+          ~doc:
+            "Execute for real and report wall-clock timings: the outermost provably-DOALL \
+             dimension is chunked over N worker domains (the other levels run sequentially), \
+             the parallel store is differentially checked against the sequential interpreter \
+             before any timing is reported, and the report carries the honest core count.  \
+             Without a DOALL dimension the run degrades to sequential with a typed $(b,X901) \
+             / $(b,X902) warning (exit 2).")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"K"
+          ~doc:"Timing runs per variant under $(b,--threads); the minimum is reported.")
+  in
+  let no_timings =
+    Arg.(
+      value & flag
+      & info [ "no-timings" ]
+          ~doc:
+            "Report the execution plan and differential verdict with every wall time masked \
+             as $(b,-): byte-stable output for tests.")
+  in
+  let emit_c =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-c" ] ~docv:"FILE.c"
+          ~doc:
+            "Instead of executing, lower the program to a self-contained C99 file with \
+             $(b,#pragma omp parallel for) on every proven-DOALL dimension (array extents \
+             measured at size $(b,-N)); emit-only — nothing compiles it here.")
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Interpret the program and dump the final array contents.  Accepts any parseable \
-          program, including generated code with guards and lets.")
-    Term.(const run $ setup_term $ file_arg $ nparam)
+         "Interpret the program and dump the final array contents; with $(b,--threads), \
+          execute the DOALL schedule on worker domains and report measured speedups; with \
+          $(b,--emit-c), emit C/OpenMP instead.  Accepts any parseable program, including \
+          generated code with guards and lets.")
+    Term.(
+      const run $ setup_term $ file_arg $ nparam $ recipe $ threads $ repeat $ no_timings
+      $ emit_c)
 
 (* ---- optimize ---- *)
-
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
 
 let optimize_cmd =
   let run common file beam depth finalists size seed out =
@@ -649,6 +745,11 @@ let optimize_cmd =
         | Some w ->
             let prog = Option.get w.Search.program in
             Printf.printf "\nwinner: %s\n" (Search.recipe_line w.Search.recipe);
+            (match o.Search.winner_doall with
+            | Some k when k > 0 ->
+                Printf.printf "winner doall: %d parallel loop(s) — runnable with `inltool run --threads`\n" k
+            | Some 0 -> Printf.printf "winner doall: none (sequential schedule)\n"
+            | _ -> ());
             let prefix =
               match out with Some p -> p | None -> Filename.remove_extension file ^ ".opt"
             in

@@ -7,13 +7,13 @@ let kernel_json (r : Record.t) =
     "    {\"name\": %s, \"status\": %s, \"signature\": %s, \"winner\": %s, \"source_misses\": \
      %d, \"winner_misses\": %d, \"accesses\": %d, \"candidates\": %d, \"delta_inherit_rate\": \
      %.3f, \"legality_memo_hits\": %d, \"mat_memo_hits\": %d, \"retried\": %b, \
-     \"degradations\": %s, \"wall_ms\": %d}"
+     \"degradations\": %s, \"wall_ms\": %d, \"doall\": %d, \"exec\": %s}"
     (jstr r.Record.name)
     (jstr (Record.status_to_string r.Record.status))
     (jstr r.Record.signature) (jstr r.Record.winner) r.Record.source_misses
     r.Record.winner_misses r.Record.accesses r.Record.candidates (Record.delta_inherit_rate r)
     r.Record.legality_memo_hits r.Record.mat_memo_hits r.Record.retried
-    (jstr r.Record.degradations) r.Record.wall_ms
+    (jstr r.Record.degradations) r.Record.wall_ms r.Record.doall (jstr r.Record.exec)
 
 let render ~manifest_fingerprint ~jobs ~timings records =
   let count st = List.length (List.filter (fun r -> r.Record.status = st) records) in
@@ -39,7 +39,7 @@ let render ~manifest_fingerprint ~jobs ~timings records =
 
 let stable_fields =
   [ "status"; "signature"; "winner"; "source_misses"; "winner_misses"; "accesses";
-    "candidates"; "degradations" ]
+    "candidates"; "degradations"; "doall"; "exec" ]
 
 let kernel_map doc =
   match Json.member "kernels" doc with

@@ -13,6 +13,8 @@ type entry = {
   timeout_ms : int option;
   budget : int option;
   faults : string option;
+  run : int option;
+  threads : int option;
 }
 
 type t = { dir : string; entries : entry list; fingerprint : string }
@@ -56,6 +58,8 @@ let parse_entry ~dir ~lineno rest =
               timeout_ms = None;
               budget = None;
               faults = None;
+              run = None;
+              threads = None;
             }
         in
         let set_int key v ~min set =
@@ -77,6 +81,8 @@ let parse_entry ~dir ~lineno rest =
               | "finalists" -> set_int key v ~min:1 (fun e n -> { e with finalists = Some n })
               | "timeout_ms" -> set_int key v ~min:0 (fun e n -> { e with timeout_ms = Some n })
               | "budget" -> set_int key v ~min:1 (fun e n -> { e with budget = Some n })
+              | "run" -> set_int key v ~min:1 (fun e n -> { e with run = Some n })
+              | "threads" -> set_int key v ~min:1 (fun e n -> { e with threads = Some n })
               | "faults" -> (
                   match Faults.parse v with
                   | Ok _ -> Ok (entry := { !entry with faults = Some v })

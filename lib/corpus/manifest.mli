@@ -13,9 +13,12 @@
     [finalists] (search configuration; whatever is not pinned here goes
     through {!Inl_search.Search.config_for}, so big kernels still get
     the automatic widening), [timeout_ms] (per-kernel watchdog, [0]
-    disables), [budget] (per-kernel Fourier-Motzkin work budget), and
+    disables), [budget] (per-kernel Fourier-Motzkin work budget),
     [faults] (an {!Inl_diag.Faults} spec — how the acceptance drill
-    poisons a kernel on purpose).
+    poisons a kernel on purpose), [run] (execute the winner for real at
+    this problem size through {!Inl_exec.Exec} and record the outcome
+    label), and [threads] (worker domains for that execution;
+    default 2).
 
     Malformed lines, duplicate kernel names, unknown keys and invalid
     values are all typed [K701] errors naming the offending line; a
@@ -34,6 +37,8 @@ type entry = {
   timeout_ms : int option;
   budget : int option;
   faults : string option;  (** validated spec text *)
+  run : int option;  (** execute the winner at this size; [None] = don't *)
+  threads : int option;  (** worker domains for [run=]; default 2 *)
 }
 
 type t = {

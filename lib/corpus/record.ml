@@ -30,6 +30,8 @@ type t = {
   retried : bool;
   degradations : string;
   wall_ms : int;
+  doall : int;
+  exec : string;
 }
 
 (* Free-text fields (details quote solver messages) must survive the
@@ -80,6 +82,8 @@ let to_line r =
       (if r.retried then "1" else "0");
       escape r.degradations;
       string_of_int r.wall_ms;
+      string_of_int r.doall;
+      escape r.exec;
     ]
 
 let of_line line =
@@ -101,6 +105,8 @@ let of_line line =
    retried;
    degradations;
    wall_ms;
+   doall;
+   exec;
   ] -> (
       let int what s =
         match int_of_string_opt s with
@@ -120,6 +126,7 @@ let of_line line =
           let* legality_memo_hits = int "legality_memo_hits" legality_memo_hits in
           let* mat_memo_hits = int "mat_memo_hits" mat_memo_hits in
           let* wall_ms = int "wall_ms" wall_ms in
+          let* doall = int "doall" doall in
           let* retried =
             match retried with
             | "0" -> Ok false
@@ -144,6 +151,8 @@ let of_line line =
               retried;
               degradations = unescape degradations;
               wall_ms;
+              doall;
+              exec = unescape exec;
             })
   | _ -> Error "record: wrong field count"
 

@@ -35,6 +35,11 @@ type t = {
   retried : bool;  (** the reduced-budget rung answered (K711) *)
   degradations : string;  (** comma-joined diag codes, deterministic order *)
   wall_ms : int;  (** 0 when the run recorded no timings *)
+  doall : int;  (** winner's provably-parallel loop count; -1 unknown *)
+  exec : string;
+      (** {!Inl_exec.Exec.label} of the winner's real execution (never
+          encodes wall time); [""] when the manifest did not ask for
+          execution ([run=]) or there is no winner *)
 }
 
 val to_line : t -> string

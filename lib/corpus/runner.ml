@@ -12,6 +12,7 @@ module Snapshot = Inl_serve.Snapshot
 module Fcorpus = Inl_fuzz.Corpus
 module Oracle = Inl_fuzz.Oracle
 module Tf = Inl_fuzz.Tf
+module Exec = Inl_exec.Exec
 
 type config = {
   manifest : Manifest.t;
@@ -29,7 +30,9 @@ type report = {
 }
 
 let checkpoint_kind = "corpus-checkpoint"
-let checkpoint_version = 1
+
+(* v2: records carry the winner's DOALL count and execution label *)
+let checkpoint_version = 2
 let checkpoint_path state_dir = Filename.concat state_dir "checkpoint"
 
 let read_file path =
@@ -210,6 +213,8 @@ let run_kernel cfg (e : Manifest.entry) : Record.t =
       retried = false;
       degradations = "";
       wall_ms = 0;
+      doall = -1;
+      exec = "";
     }
   in
   let snap0 = Stats.snapshot () in
@@ -285,6 +290,23 @@ let run_kernel cfg (e : Manifest.entry) : Record.t =
               | None -> ""
             in
             let winner = o.Search.winner in
+            (* When the manifest asks for it ([run=]), execute the
+               winner for real: the recorded label is wall-time-free
+               ({!Exec.label}), so it is stable under the drift guard
+               while still pinning the plan and differential verdict. *)
+            let exec =
+              match (e.Manifest.run, winner) with
+              | Some size, Some w -> (
+                  match w.Search.program with
+                  | Some prog ->
+                      let params =
+                        List.map (fun p -> (p, size)) prog.Inl_ir.Ast.params
+                      in
+                      let jobs = Option.value e.Manifest.threads ~default:2 in
+                      Exec.label (Exec.benchmark ~jobs ~repeat:1 prog ~params)
+                  | None -> "")
+              | _ -> ""
+            in
             {
               Record.name = e.Manifest.name;
               status;
@@ -309,6 +331,8 @@ let run_kernel cfg (e : Manifest.entry) : Record.t =
               retried;
               degradations = sorted_codes codes;
               wall_ms;
+              doall = Option.value o.Search.winner_doall ~default:(-1);
+              exec;
             }
       in
       match ladder with
@@ -350,9 +374,10 @@ let describe_record out (r : Record.t) ~timings =
   let timing = if timings then Printf.sprintf " (%d ms)" r.Record.wall_ms else "" in
   match r.Record.status with
   | Record.Clean | Record.Degraded ->
-      Format.fprintf out "corpus: %s: %s winner=%S misses=%d->%d%s%s@." r.Record.name
+      Format.fprintf out "corpus: %s: %s winner=%S misses=%d->%d%s%s%s@." r.Record.name
         (Record.status_to_string r.Record.status)
         r.Record.winner r.Record.source_misses r.Record.winner_misses
+        (if r.Record.exec = "" then "" else " exec=" ^ r.Record.exec)
         (if r.Record.degradations = "" then "" else " [" ^ r.Record.degradations ^ "]")
         timing
   | Record.Quarantined ->
@@ -402,8 +427,12 @@ let run ?(out = Format.std_formatter) ?(stop = fun () -> false) cfg =
                   match run_kernel cfg e with
                   | r ->
                       records := r :: !records;
-                      describe_record out r ~timings:cfg.timings;
+                      (* persist before announcing: once the record's
+                         line is visible on stdout, the checkpoint
+                         holding it is already on disk — a SIGKILL
+                         right after the announcement cannot lose it *)
                       let ds = save_checkpoint cfg ~records:(List.rev !records) in
+                      describe_record out r ~timings:cfg.timings;
                       List.iter
                         (fun d -> Format.fprintf out "corpus: %s@." (Diag.to_string d))
                         ds;

@@ -13,6 +13,7 @@ type phase =
   | Search
   | Serve
   | Corpus
+  | Exec
   | Driver
 
 type span = { line : int }
@@ -48,6 +49,7 @@ let phase_to_string = function
   | Search -> "search"
   | Serve -> "serve"
   | Corpus -> "corpus"
+  | Exec -> "exec"
   | Driver -> "driver"
 
 let to_string d =

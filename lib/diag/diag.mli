@@ -23,6 +23,7 @@ type phase =
   | Search
   | Serve
   | Corpus
+  | Exec
   | Driver
 
 type span = { line : int }

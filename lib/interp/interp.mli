@@ -1,12 +1,16 @@
 (** An interpreter for loop-nest programs — the execution substrate of
     this reproduction (standing in for the paper's Polaris test-bed).
 
-    Two roles: the {e semantic-equivalence oracle} for code generation
+    Three roles: the {e semantic-equivalence oracle} for code generation
     (run the source and the transformed program on the same inputs and
     compare final stores — legal transformations preserve them exactly,
     since each array cell sees the same sequence of operations with the
-    same operands), and the {e memory-trace source} for the cache
-    simulator.
+    same operands), the {e memory-trace source} for the cache
+    simulator, and the {e worker evaluator} of the parallel execution
+    runtime ({!Inl_exec}): {!run_nest} exposes a per-loop hook so a
+    driver can intercept one proven-DOALL level and fan its iteration
+    range out over domains, each worker evaluating its slice with
+    {!run_slice}.
 
     Uninterpreted function calls (the paper's [f()]) evaluate to a
     deterministic hash of the call name and argument values, so
@@ -42,7 +46,53 @@ val run :
     @raise Invalid_argument on unbound variables or non-exact [Let]
     divisions. *)
 
+val run_nest :
+  ?init:(string -> int list -> float) ->
+  ?trace:(access -> unit) ->
+  ?max_steps:int ->
+  ?on_loop:(Ast.path -> Ast.loop -> (string * int) list -> [ `Default | `Handled ]) ->
+  store:store ->
+  Ast.program ->
+  params:(string * int) list ->
+  unit
+(** Like {!run}, but against a caller-supplied store, and with a hook
+    consulted at every loop entry {e before} iterating: the hook
+    receives the loop's path (same child-index convention as the
+    {!Inl_verify.Doall} report), the loop itself and the enclosing
+    bindings (loop variables and [Let] quotients, innermost first).
+    Returning [`Handled] means the caller has executed the whole loop
+    itself (e.g. fanned its range out over domains with {!run_slice});
+    [`Default] iterates sequentially.  The hook is not consulted inside
+    handled subtrees. *)
+
+val loop_values :
+  params:(string * int) list -> bindings:(string * int) list -> Ast.loop -> int list
+(** The iteration values of a loop under the given enclosing bindings,
+    in execution order — what [`Default] would iterate over.  Respects
+    strides, max/min bound combiners and bound-term rounding. *)
+
+val run_slice :
+  ?init:(string -> int list -> float) ->
+  ?trace:(access -> unit) ->
+  ?max_steps:int ->
+  store:store ->
+  bindings:(string * int) list ->
+  values:int list ->
+  Ast.loop ->
+  params:(string * int) list ->
+  unit
+(** Evaluates the body of one loop for exactly the given iteration
+    values (a sub-range of {!loop_values}) against the supplied store,
+    without re-walking the enclosing nest — [bindings] carries the
+    enclosing loop variables.  Running every slice of a partition of
+    {!loop_values} in order is byte-identical to iterating the loop in
+    place. *)
+
 val stores_equal : store -> store -> bool
+
+val store_diff : store -> store -> (unit, string) result
+(** Cell-by-cell comparison; [Error] names the first differing cell
+    (the "first"/"second" wording refers to argument order). *)
 
 val equivalent :
   ?max_steps:int ->

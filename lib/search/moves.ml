@@ -45,7 +45,7 @@ let nested_pairs loops =
 
 let path_spec (path : Ast.path) = String.concat "." (List.map string_of_int path)
 
-let enumerate (prog : Ast.program) : (string * string) list =
+let enumerate (prog : Ast.program) : (string * string) list list =
   let loops = loops_with_paths prog in
   let pairs = nested_pairs loops in
   let interchanges =
@@ -61,6 +61,24 @@ let enumerate (prog : Ast.program) : (string * string) list =
           (fun (t, s) ->
             [ ("skew", Printf.sprintf "%s,%s,1" t s); ("skew", Printf.sprintf "%s,%s,-1" t s) ])
           [ (inner, outer); (outer, inner) ])
+      pairs
+  in
+  (* Wavefront composition, one compound move: skew the inner loop by
+     the outer, then interchange — the time-iterated stencils (jacobi1d,
+     seidel1d) need exactly this pair to gain a DOALL dimension, and as
+     two separate generations the intermediate skew-only state rarely
+     survives the beam.  Factor 2 covers stencils whose dependence cone
+     ({(1,-1),(1,0),(1,1)}) a unit skew cannot rotate past vertical. *)
+  let wavefronts =
+    List.concat_map
+      (fun (outer, inner) ->
+        List.map
+          (fun f ->
+            [
+              ("skew", Printf.sprintf "%s,%s,%d" inner outer f);
+              ("interchange", Printf.sprintf "%s,%s" outer inner);
+            ])
+          [ 1; 2 ])
       pairs
   in
   let stmts = Ast.stmts_with_paths prog in
@@ -96,4 +114,5 @@ let enumerate (prog : Ast.program) : (string * string) list =
           perms)
       (Inl.Completion.reorder_sites prog)
   in
-  interchanges @ reversals @ skews @ aligns @ reorders
+  List.map (fun s -> [ s ]) (interchanges @ reversals @ skews @ aligns @ reorders)
+  @ wavefronts

@@ -75,6 +75,7 @@ type funnel = {
 type outcome = {
   entries : entry list;
   winner : entry option;
+  winner_doall : int option;
   source_misses : int option;
   source_accesses : int option;
   diags : Diag.t list;
@@ -475,7 +476,9 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
                let recipes =
                  List.map
                    (fun mv ->
-                     { Tf.steps = st.s_recipe.Tf.steps @ [ mv ]; partial = []; edits = [] })
+                     (* a move is a step list — compound moves (the
+                        wavefront pair) append as one unit *)
+                     { Tf.steps = st.s_recipe.Tf.steps @ mv; partial = []; edits = [] })
                    moves
                in
                let rec chunk = function
@@ -620,6 +623,7 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   in
   (* ---- the Inl_verify gate: the winner is the best-ranked finalist
      whose generated code passes translation validation ---- *)
+  let winner_doall = ref None in
   let winner =
     List.find_opt
       (fun e ->
@@ -638,6 +642,15 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
             else begin
               (* keep degradation warnings from the winner's validation *)
               diags := List.rev_append (List.filter (fun (d : Diag.t) -> d.Diag.severity = Diag.Warning) vds) !diags;
+              (* the winner's validation already ran the DOALL analysis;
+                 record how many of its loops are provably parallel so
+                 the CLI and the corpus can track parallelizability *)
+              winner_doall :=
+                Some
+                  (List.length
+                     (List.filter
+                        (fun (_, _, s) -> s = Inl_verify.Doall.Parallel)
+                        report.Verify.loops));
               true
             end)
       entries
@@ -685,6 +698,7 @@ let optimize ?(config = default_config) (ctx : Inl.context) : outcome =
   {
     entries;
     winner;
+    winner_doall = !winner_doall;
     source_misses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.misses) source_sim;
     source_accesses = Option.map (fun (s : Cachesim.stats) -> s.Cachesim.accesses) source_sim;
     diags = List.rev !diags;

@@ -99,6 +99,11 @@ type funnel = {
 type outcome = {
   entries : entry list;  (** the finalists in final ranking order *)
   winner : entry option;  (** the first finalist that passed the {!Inl_verify} gate *)
+  winner_doall : int option;
+      (** number of provably parallel loops in the winner's generated
+          code, read off the winner's own verification report ([None]
+          when there is no winner) — the parallelizability the execution
+          runtime ({!Inl_exec}) will find *)
   source_misses : int option;  (** trace-tier score of the untransformed program *)
   source_accesses : int option;
   diags : Diag.t list;

@@ -40,8 +40,8 @@ every kernel is clean:
     "jobs": 1,
     "timings": false,
     "kernels": [
-      {"name": "tri", "status": "clean", "signature": "", "winner": "complete row=[0,0,0,1]", "source_misses": 13, "winner_misses": 13, "accesses": 3480, "candidates": 215, "delta_inherit_rate": 0.233, "legality_memo_hits": 0, "mat_memo_hits": 196, "retried": false, "degradations": "", "wall_ms": 0},
-      {"name": "dp", "status": "clean", "signature": "", "winner": "identity", "source_misses": 7, "winner_misses": 7, "accesses": 3432, "candidates": 229, "delta_inherit_rate": 0.255, "legality_memo_hits": 0, "mat_memo_hits": 210, "retried": false, "degradations": "", "wall_ms": 0}
+      {"name": "tri", "status": "clean", "signature": "", "winner": "complete row=[0,0,0,1]", "source_misses": 13, "winner_misses": 13, "accesses": 3480, "candidates": 245, "delta_inherit_rate": 0.197, "legality_memo_hits": 0, "mat_memo_hits": 225, "retried": false, "degradations": "", "wall_ms": 0, "doall": 0, "exec": ""},
+      {"name": "dp", "status": "clean", "signature": "", "winner": "identity", "source_misses": 7, "winner_misses": 7, "accesses": 3432, "candidates": 261, "delta_inherit_rate": 0.248, "legality_memo_hits": 0, "mat_memo_hits": 241, "retried": false, "degradations": "", "wall_ms": 0, "doall": 0, "exec": ""}
     ],
     "totals": {"kernels": 2, "clean": 2, "degraded": 0, "quarantined": 0, "failed": 0, "wall_ms": 0}
   }
@@ -65,6 +65,30 @@ failure naming the kernel, the field and both values:
   corpus: 2 kernels: 2 clean, 0 degraded, 0 quarantined, 0 failed
   error[K709] corpus: kernel "tri": winner_misses drifted: committed 99, got 13
   [1]
+
+A `run=` key executes the winner for real through the exec runtime
+(threads= worker domains): the recorded label pins the execution plan
+and the differential verdict — never wall time — so it is stable under
+the drift guard:
+
+  $ cat > jac.loop <<'EOF'
+  > params T
+  > params N
+  > do K = 1..T
+  >   do I = 2..N-1
+  >     S1: A(K,I) = A(K-1,I-1) + A(K-1,I) + A(K-1,I+1)
+  >   enddo
+  > enddo
+  > EOF
+  $ cat > exec.manifest <<'EOF'
+  > kernel jac jac.loop run=6 threads=2
+  > EOF
+  $ inltool corpus exec.manifest --no-timings -o E.json
+  corpus: jac: clean winner="identity" misses=300->300 exec=ok:doall=t2
+  corpus: 1 kernels: 1 clean, 0 degraded, 0 quarantined, 0 failed
+  wrote E.json
+  $ grep -o '"doall": [0-9-]*, "exec": "[^"]*"' E.json
+  "doall": 1, "exec": "ok:doall=t2"
 
 A malformed manifest is rejected line by line with typed K701
 diagnostics; nothing runs:

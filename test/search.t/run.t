@@ -30,7 +30,7 @@ pessimistically, which the search reports once as a typed warning:
 
   $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 -o smoke
   warning[S904] search: static scoring degraded for 1 candidate(s): 3 reference(s) under a singular per-statement transformation charged the pessimistic cost
-  search: generated=173 materialize-failed=6 duplicate=25 pruned-illegal=80 scored=62 classes=15 pruned-equivalent=47 simulated=2 sim-shared=1 sim-skipped=0
+  search: generated=205 materialize-failed=6 duplicate=31 pruned-illegal=96 scored=72 classes=19 pruned-equivalent=53 simulated=2 sim-shared=1 sim-skipped=0
   source: accesses=3112 misses=30 miss-rate=0.96%
   rank      static    misses   miss%  recipe
      1    1824.000        30   0.96%  complete row=[0,0,0,0,1,0,0]
@@ -38,6 +38,7 @@ pessimistically, which the search reports once as a typed warning:
      3    3392.000        30   0.96%  interchange J,I2; align S2,I,-1
   
   winner: complete row=[0,0,0,0,1,0,0]
+  winner doall: 3 parallel loop(s) — runnable with `inltool run --threads`
   wrote smoke.loop and smoke.tf
   
   params N
@@ -102,19 +103,19 @@ memo hit counts depend on which worker gets to a signature first, so
 only the single-worker run is byte-reproducible):
 
   $ inltool optimize chol.loop --beam 4 --depth 2 --finalists 3 --size 16 --stats --jobs 1 -o st 2>&1 >/dev/null | grep counter
-  counter search.duplicate               25
-  counter search.generated              173
-  counter search.legality.delta-checked      593
-  counter search.legality.delta-inherited      908
+  counter search.duplicate               31
+  counter search.generated              205
+  counter search.legality.delta-checked      825
+  counter search.legality.delta-inherited      988
   counter search.legality.memo_hits        0
-  counter search.mat.memo_hits          123
+  counter search.mat.memo_hits          151
   counter search.materialize-failed        6
-  counter search.pruned-illegal          80
-  counter search.reuse.classes           15
-  counter search.reuse.memo_hits         37
-  counter search.reuse.pruned            47
+  counter search.pruned-illegal          96
+  counter search.reuse.classes           19
+  counter search.reuse.memo_hits         41
+  counter search.reuse.pruned            53
   counter search.score-degraded           1
-  counter search.scored-static           62
+  counter search.scored-static           72
   counter search.sim-shared               1
   counter search.sim-skipped              0
   counter search.simulated                2

@@ -56,7 +56,7 @@ let test_manifest_ok () =
     "# comment line\n\
      kernel a x.loop\n\
      \t kernel b sub/y.loop seed=7 beam=3 depth=2 finalists=1 size=16 timeout_ms=0 \
-     budget=1000 faults=every=2\n\
+     budget=1000 faults=every=2 run=4 threads=2\n\
      kernel c /abs/z.loop\n"
     (fun dir m ->
       match m with
@@ -70,6 +70,8 @@ let test_manifest_ok () =
           Alcotest.(check (option int)) "beam" (Some 3) b.Manifest.beam;
           Alcotest.(check (option int)) "timeout may be zero" (Some 0) b.Manifest.timeout_ms;
           Alcotest.(check (option string)) "faults" (Some "every=2") b.Manifest.faults;
+          Alcotest.(check (option int)) "run" (Some 4) b.Manifest.run;
+          Alcotest.(check (option int)) "threads" (Some 2) b.Manifest.threads;
           let c = List.nth m.Manifest.entries 2 in
           Alcotest.(check string) "absolute path kept" "/abs/z.loop" c.Manifest.path;
           Alcotest.(check bool) "fingerprint nonempty" true (m.Manifest.fingerprint <> ""))
@@ -121,6 +123,8 @@ let sample_record =
     retried = true;
     degradations = "K706,K711";
     wall_ms = 375;
+    doall = -1;
+    exec = "";
   }
 
 let test_record_roundtrip () =
@@ -163,6 +167,8 @@ let clean_record name =
     winner_misses = 9;
     retried = false;
     degradations = "";
+    doall = 1;
+    exec = "ok:doall=J";
   }
 
 let render records = Bench.render ~manifest_fingerprint:"f00" ~jobs:1 ~timings:true records
@@ -193,6 +199,12 @@ let test_guard_catches_drift () =
   expect_drift "status drift"
     (render [ { (clean_record "a") with Record.status = Record.Degraded }; clean_record "b" ])
     "status drifted";
+  expect_drift "execution-label drift"
+    (render [ { (clean_record "a") with Record.exec = "degraded:X901" }; clean_record "b" ])
+    "exec drifted";
+  expect_drift "doall-count drift"
+    (render [ { (clean_record "a") with Record.doall = 0 }; clean_record "b" ])
+    "doall drifted";
   expect_drift "kernel vanished" (render [ clean_record "a" ]) "not the fresh report";
   expect_drift "kernel appeared"
     (render [ clean_record "a"; clean_record "b"; clean_record "c" ])

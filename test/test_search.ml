@@ -43,29 +43,40 @@ let test_moves_contract () =
   let moves = Moves.enumerate prog in
   Alcotest.(check bool) "non-empty" true (moves <> []);
   List.iter
-    (fun (kind, spec) ->
-      Alcotest.(check bool)
-        (Printf.sprintf "kind %s known" kind)
-        true (List.mem kind known_kinds);
+    (fun steps ->
+      Alcotest.(check bool) "move has steps" true (steps <> []);
+      List.iter
+        (fun (kind, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "kind %s known" kind)
+            true (List.mem kind known_kinds))
+        steps;
       (* every enumerated move must either materialize or fail with a
          typed error — never an exception *)
       let ctx = Inl.analyze prog in
-      match Tf.materialize ctx { Tf.steps = [ (kind, spec) ]; partial = []; edits = [] } with
+      match Tf.materialize ctx { Tf.steps = steps; partial = []; edits = [] } with
       | Ok _ | Error _ -> ())
     moves;
-  Alcotest.(check (list (pair string string)))
+  Alcotest.(check (list (list (pair string string))))
     "deterministic" moves
     (Moves.enumerate (parse Px.cholesky_kji))
 
 let test_moves_cover_depths () =
   (* kji Cholesky has one loop pair per imperfect branch: interchanges
-     and skews must appear for nested pairs, reversals for every loop *)
+     and skews must appear for nested pairs, reversals for every loop;
+     the wavefront compound (skew then interchange) rides every pair *)
   let moves = Moves.enumerate (parse Px.cholesky_kji) in
-  let kinds = List.sort_uniq compare (List.map fst moves) in
+  let kinds = List.sort_uniq compare (List.map fst (List.concat moves)) in
   List.iter
     (fun k ->
       Alcotest.(check bool) (Printf.sprintf "has %s" k) true (List.mem k kinds))
-    [ "interchange"; "reverse"; "skew"; "align" ]
+    [ "interchange"; "reverse"; "skew"; "align" ];
+  Alcotest.(check bool)
+    "has wavefront compound" true
+    (List.exists
+       (fun steps ->
+         match steps with [ ("skew", _); ("interchange", _) ] -> true | _ -> false)
+       moves)
 
 (* ---- static cost tier ---- *)
 
@@ -169,27 +180,28 @@ let delta_prop (seed, index) =
   let env = Inl.Legality.make_env ctx.Inl.layout ctx.Inl.deps in
   let mat steps = Tf.materialize ctx { Tf.steps; partial = []; edits = [] } in
   let _, id_summary = Inl.Legality.check_env env (Mat.identity (Layout.size ctx.Inl.layout)) in
+  let step_line steps = String.concat "; " (List.map (fun (k, s) -> k ^ " " ^ s) steps) in
   let moves = List.filteri (fun i _ -> i < 8) (Moves.enumerate prog) in
   let parents =
     List.filter_map
-      (fun (k, s) ->
-        match mat [ (k, s) ] with
+      (fun steps ->
+        match mat steps with
         | Error _ -> None
         | Ok m ->
             let delta, summary = Inl.Legality.check_env ?parent:id_summary env m in
-            verdicts_agree ~what:(k ^ " " ^ s) (Inl.check ctx m) delta;
-            Option.map (fun y -> ((k, s), y)) summary)
+            verdicts_agree ~what:(step_line steps) (Inl.check ctx m) delta;
+            Option.map (fun y -> (steps, y)) summary)
       moves
   in
   List.iter
-    (fun ((k1, s1), parent) ->
+    (fun (steps1, parent) ->
       List.iter
-        (fun (k2, s2) ->
-          match mat [ (k1, s1); (k2, s2) ] with
+        (fun steps2 ->
+          match mat (steps1 @ steps2) with
           | Error _ -> ()
           | Ok m ->
               verdicts_agree
-                ~what:(Printf.sprintf "%s %s; %s %s" k1 s1 k2 s2)
+                ~what:(step_line (steps1 @ steps2))
                 (Inl.check ctx m)
                 (fst (Inl.Legality.check_env ~parent env m)))
         moves)
